@@ -1,0 +1,207 @@
+#include "bench/common.hpp"
+
+#include <cstdio>
+#include <map>
+
+#include "core/aggregation_engine.hpp"
+#include "graph/partition.hpp"
+#include "graph/sampling.hpp"
+#include "graph/window.hpp"
+#include "model/layer.hpp"
+
+namespace hygcn::bench {
+
+std::vector<DatasetId>
+figureDatasets()
+{
+    return {DatasetId::IB, DatasetId::CR, DatasetId::CS,
+            DatasetId::CL, DatasetId::PB, DatasetId::RD};
+}
+
+std::vector<DatasetId>
+diffpoolDatasets()
+{
+    return {DatasetId::IB, DatasetId::CL};
+}
+
+const Dataset &
+dataset(DatasetId id)
+{
+    static std::map<DatasetId, Dataset> cache;
+    auto it = cache.find(id);
+    if (it == cache.end())
+        it = cache.emplace(id, makeDatasetScaledDefault(id, 1)).first;
+    return it->second;
+}
+
+ModelConfig
+model(ModelId id, DatasetId ds)
+{
+    return makeModel(id, dataset(ds).featureLen);
+}
+
+SimReport
+runHyGCN(ModelId m, DatasetId ds, const HyGCNConfig &config)
+{
+    return runHyGCNFull(m, ds, config).report;
+}
+
+AcceleratorResult
+runHyGCNFull(ModelId m, DatasetId ds, const HyGCNConfig &config)
+{
+    const Dataset &data = dataset(ds);
+    const ModelConfig mc = model(m, ds);
+    const ModelParams params = makeParams(mc, kSeed);
+    HyGCNAccelerator accel(config);
+    return accel.run(data, mc, params, nullptr, kSeed);
+}
+
+SimReport
+runCpu(ModelId m, DatasetId ds, bool partition_optimized)
+{
+    CpuModel cpu;
+    CpuRunOptions options;
+    options.partitionOptimized = partition_optimized;
+    return cpu.run(dataset(ds), model(m, ds), kSeed, options);
+}
+
+SimReport
+runGpu(ModelId m, DatasetId ds, bool partition_optimized)
+{
+    GpuModel gpu;
+    GpuRunOptions options;
+    options.partitionOptimized = partition_optimized;
+    return gpu.run(dataset(ds), model(m, ds), kSeed, options);
+}
+
+AggOnlyResult
+runAggregationOnly(DatasetId dataset_id, bool eliminate,
+                   std::uint32_t sample_factor,
+                   std::uint64_t agg_buf_bytes)
+{
+    const Dataset &data = dataset(dataset_id);
+    HyGCNConfig config;
+    if (agg_buf_bytes > 0)
+        config.aggBufBytes = agg_buf_bytes;
+    config.sparsityElimination = eliminate;
+
+    HbmModel hbm(config.effectiveHbm());
+    MemoryCoordinator coord(hbm, config.effectiveCoordinator());
+    EnergyLedger ledger;
+    StatGroup stats;
+    AggregationEngine engine(config, coord, ledger, stats);
+
+    // First-layer GCN aggregation: full feature length, self loops.
+    LayerConfig layer;
+    layer.inFeatures = data.featureLen;
+    layer.mlpDims = {128};
+    EdgeSet edges = EdgeSet::fromGraph(data.graph, true);
+    if (sample_factor > 1) {
+        EdgeSet sampled = NeighborSampler::sampleByFactor(
+            data.graph.csc(), sample_factor, kSeed);
+        edges = EdgeSet::fromView(sampled.view(), true);
+    }
+
+    PartitionConfig pc;
+    pc.aggBufBytes = config.aggBufBytes;
+    pc.inputBufBytes = config.inputBufBytes;
+    pc.edgeBufBytes = config.edgeBufBytes;
+    pc.aggFeatureLen = data.featureLen;
+    pc.srcFeatureLen = data.featureLen;
+    const PartitionDims dims = computePartitionDims(pc);
+    const WindowPlan plan =
+        buildWindowPlan(edges.view(), dims.intervalSize,
+                        dims.windowHeight, dims.maxEdgesPerWindow,
+                        eliminate);
+
+    const AddressMap amap;
+    const EdgeCoefFn one(EdgeCoefKind::One, {}, 0.0f);
+    Cycle now = 0;
+    for (const IntervalWork &work : plan.intervals) {
+        const AggIntervalTiming t = engine.processInterval(
+            edges.view(), work, data.featureLen, AggOp::Add, one,
+            nullptr, nullptr, nullptr, now, amap);
+        now = t.finish;
+    }
+
+    AggOnlyResult result;
+    result.seconds = static_cast<double>(now) / config.clockHz;
+    result.dramBytes = hbm.stats().get("dram.read_bytes") +
+                       hbm.stats().get("dram.write_bytes");
+    // Reduction relative to the grid plan at the same geometry.
+    const WindowPlan grid =
+        buildWindowPlan(edges.view(), dims.intervalSize,
+                        dims.windowHeight, dims.maxEdgesPerWindow, false);
+    result.sparsityReduction =
+        grid.loadedRows > 0
+            ? 1.0 - static_cast<double>(plan.loadedRows) /
+                        static_cast<double>(grid.loadedRows)
+            : 0.0;
+    return result;
+}
+
+bool
+gpuWouldOomFullSize(ModelId m, DatasetId ds)
+{
+    // Full Table 4 sizes.
+    struct FullSize { double v, e; int f; };
+    const std::map<DatasetId, FullSize> sizes = {
+        {DatasetId::IB, {2647, 28624, 136}},
+        {DatasetId::CR, {2708, 10556, 1433}},
+        {DatasetId::CS, {3327, 9104, 3703}},
+        {DatasetId::CL, {12087, 1446010, 492}},
+        {DatasetId::PB, {19717, 88648, 500}},
+        {DatasetId::RD, {232965, 114615892, 602}},
+    };
+    const FullSize fs = sizes.at(ds);
+    const ModelConfig mc = makeModel(m, fs.f);
+    const GpuConfig gc;
+
+    double working_set = fs.v * fs.f * 4.0 + fs.e * 12.0;
+    for (const LayerConfig &layer : mc.layers) {
+        double edges = fs.e;
+        if (layer.sampleNeighbors > 0)
+            edges = std::min<double>(edges,
+                                     fs.v * layer.sampleNeighbors);
+        const int f_agg = mc.cpuCombineFirst ? layer.outFeatures()
+                                             : layer.inFeatures;
+        const bool materializes =
+            layer.aggOp != AggOp::Add || !mc.cpuCombineFirst;
+        if (materializes)
+            working_set += edges * f_agg * 4.0;
+    }
+    return working_set > static_cast<double>(gc.memCapacityBytes);
+}
+
+void
+banner(const std::string &experiment, const std::string &what)
+{
+    std::printf("==============================================="
+                "=============================\n");
+    std::printf("%s — %s\n", experiment.c_str(), what.c_str());
+    std::printf("(synthetic Table-4 stand-in datasets; Reddit at 1/20 "
+                "scale; see DESIGN.md)\n");
+    std::printf("==============================================="
+                "=============================\n");
+}
+
+void
+row(const std::string &label, const std::vector<double> &values,
+    const char *fmt)
+{
+    std::printf("%-22s", label.c_str());
+    for (double v : values)
+        std::printf(fmt, v);
+    std::printf("\n");
+}
+
+void
+header(const std::string &label, const std::vector<std::string> &columns)
+{
+    std::printf("%-22s", label.c_str());
+    for (const auto &c : columns)
+        std::printf("%10s", c.c_str());
+    std::printf("\n");
+}
+
+} // namespace hygcn::bench

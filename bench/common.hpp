@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Shared helpers for the benchmark harnesses: cached dataset
+ * construction at the default benchmarking scale, platform runners,
+ * and table formatting matching the paper's figures.
+ */
+
+#ifndef HYGCN_BENCH_COMMON_HPP
+#define HYGCN_BENCH_COMMON_HPP
+
+#include <string>
+#include <vector>
+
+#include "baseline/cpu_model.hpp"
+#include "baseline/gpu_model.hpp"
+#include "core/accelerator.hpp"
+#include "graph/dataset.hpp"
+#include "model/models.hpp"
+
+namespace hygcn::bench {
+
+/** Global deterministic seed for every harness. */
+inline constexpr std::uint64_t kSeed = 20200222; // HPCA 2020
+
+/** Datasets used in most figures (Table 4 order). */
+std::vector<DatasetId> figureDatasets();
+
+/** Datasets DiffPool is evaluated on (paper: IB and CL only). */
+std::vector<DatasetId> diffpoolDatasets();
+
+/** Cached dataset at the default benchmarking scale. */
+const Dataset &dataset(DatasetId id);
+
+/** Cached model configuration for (model, dataset). */
+ModelConfig model(ModelId id, DatasetId ds);
+
+/** Run HyGCN (timing-only) with @p config. */
+SimReport runHyGCN(ModelId m, DatasetId ds,
+                   const HyGCNConfig &config = HyGCNConfig{});
+
+/** Full accelerator result (for vertex latency etc.). */
+AcceleratorResult runHyGCNFull(ModelId m, DatasetId ds,
+                               const HyGCNConfig &config = HyGCNConfig{});
+
+/** Run the PyG-CPU model (naive or partition-optimized). */
+SimReport runCpu(ModelId m, DatasetId ds, bool partition_optimized);
+
+/** Run the PyG-GPU model (naive or partition-optimized). */
+SimReport runGpu(ModelId m, DatasetId ds, bool partition_optimized);
+
+/** Result of an Aggregation-Engine-only pass (Fig 15/18 studies). */
+struct AggOnlyResult
+{
+    double seconds = 0.0;
+    std::uint64_t dramBytes = 0;
+    double sparsityReduction = 0.0;
+};
+
+/**
+ * Run only the Aggregation Engine over the first GCN layer of
+ * @p dataset_id (the methodology of Fig 15: "runs only Aggregation
+ * Engine to avoid the interference of other blocks").
+ *
+ * @param eliminate Window sliding/shrinking on or off.
+ * @param sample_factor Keep 1/factor of each vertex's edges (1=all).
+ * @param agg_buf_bytes Aggregation Buffer capacity (0 = default).
+ */
+AggOnlyResult runAggregationOnly(DatasetId dataset_id, bool eliminate,
+                                 std::uint32_t sample_factor = 1,
+                                 std::uint64_t agg_buf_bytes = 0);
+
+/**
+ * True if the *full-size* (Table 4) dataset would exceed V100 memory
+ * under PyG's message materialization — the paper's OoM cells. Our
+ * benches run a scaled Reddit, so this is evaluated analytically at
+ * full scale for reporting fidelity.
+ */
+bool gpuWouldOomFullSize(ModelId m, DatasetId ds);
+
+/** Print the harness banner: figure/table id and description. */
+void banner(const std::string &experiment, const std::string &what);
+
+/** Printf-style row helper: label column then values. */
+void row(const std::string &label, const std::vector<double> &values,
+         const char *fmt = "%10.2f");
+
+/** Column header row. */
+void header(const std::string &label,
+            const std::vector<std::string> &columns);
+
+} // namespace hygcn::bench
+
+#endif // HYGCN_BENCH_COMMON_HPP

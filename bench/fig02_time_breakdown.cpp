@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 2 reproduction: execution-time breakdown of the Aggregation
+ * and Combination phases of GCN/GraphSage/GINConv on the PyG-CPU
+ * platform model. Paper shape: both phases significant; Aggregation
+ * dominates for GIN (aggregation-first, long features) and for the
+ * high-degree graphs; Combination dominates for long-feature
+ * citation graphs under combine-first models.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Figure 2", "Aggregation vs Combination execution time on "
+                       "PyG-CPU (%)");
+
+    const std::vector<ModelId> models = {ModelId::GCN, ModelId::GSC,
+                                         ModelId::GIN};
+    const std::vector<DatasetId> datasets = {
+        DatasetId::IB, DatasetId::CR, DatasetId::CS, DatasetId::CL,
+        DatasetId::PB};
+
+    header("model/dataset", {"Agg %", "Comb %"});
+    for (ModelId m : models) {
+        for (DatasetId ds : datasets) {
+            const SimReport r = runCpu(m, ds, false);
+            const double agg = r.stats.gauge("phase.agg_fraction");
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
+                {agg * 100.0, (1.0 - agg) * 100.0});
+        }
+    }
+    return 0;
+}

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Figure 10 reproduction:
+ *  (a) speedup of the interval/shard algorithm optimization on CPU
+ *      (paper: ~2.3x average),
+ *  (b) the same optimization on GPU (paper: slowdown, occupancy
+ *      collapse),
+ *  (c) HyGCN speedup over the optimized PyG-CPU and naive PyG-GPU
+ *      (paper: 1509x and 6.5x on average).
+ * DiffPool runs on IB/CL only, as in the paper. GPU cells that would
+ * exhaust V100 memory at full Table 4 scale are marked OoM.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+namespace {
+
+std::vector<DatasetId>
+datasetsFor(ModelId m)
+{
+    return m == ModelId::DFP ? diffpoolDatasets() : figureDatasets();
+}
+
+} // namespace
+
+int
+main()
+{
+    banner("Figure 10", "algorithm optimization & HyGCN speedup");
+
+    // ---- (a) CPU algorithm optimization --------------------------
+    std::printf("\n(a) PyG-CPU-OP speedup over PyG-CPU\n");
+    header("model/dataset", {"speedup"});
+    double geo_a = 0.0;
+    int n_a = 0;
+    for (ModelId m : allModels()) {
+        for (DatasetId ds : datasetsFor(m)) {
+            const double naive = runCpu(m, ds, false).seconds();
+            const double opt = runCpu(m, ds, true).seconds();
+            const double s = naive / opt;
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds), {s});
+            geo_a += s;
+            ++n_a;
+        }
+    }
+    std::printf("average: %.2fx (paper: 2.3x)\n", geo_a / n_a);
+
+    // ---- (b) GPU algorithm "optimization" ------------------------
+    std::printf("\n(b) PyG-GPU-OP speedup over PyG-GPU "
+                "(<1 = slowdown, as in the paper)\n");
+    header("model/dataset", {"speedup"});
+    for (ModelId m : allModels()) {
+        for (DatasetId ds : datasetsFor(m)) {
+            if (gpuWouldOomFullSize(m, ds)) {
+                std::printf("%-22s%10s\n",
+                            (modelAbbrev(m) + "/" + datasetAbbrev(ds))
+                                .c_str(),
+                            "OoM");
+                continue;
+            }
+            const double naive = runGpu(m, ds, false).seconds();
+            const double opt = runGpu(m, ds, true).seconds();
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds), {naive / opt});
+        }
+    }
+
+    // ---- (c) HyGCN speedup ----------------------------------------
+    std::printf("\n(c) HyGCN speedup over PyG-CPU (optimized) and "
+                "PyG-GPU\n");
+    header("model/dataset", {"vs CPU", "vs GPU"});
+    double sum_cpu = 0.0, sum_gpu = 0.0;
+    int n_cpu = 0, n_gpu = 0;
+    for (ModelId m : allModels()) {
+        for (DatasetId ds : datasetsFor(m)) {
+            const double h = runHyGCN(m, ds).seconds();
+            const double cpu = runCpu(m, ds, true).seconds();
+            const double s_cpu = cpu / h;
+            sum_cpu += s_cpu;
+            ++n_cpu;
+            if (gpuWouldOomFullSize(m, ds)) {
+                std::printf("%-22s%10.1f%10s\n",
+                            (modelAbbrev(m) + "/" + datasetAbbrev(ds))
+                                .c_str(),
+                            s_cpu, "OoM");
+                continue;
+            }
+            const double gpu = runGpu(m, ds, false).seconds();
+            const double s_gpu = gpu / h;
+            sum_gpu += s_gpu;
+            ++n_gpu;
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
+                {s_cpu, s_gpu}, "%10.1f");
+        }
+    }
+    std::printf("average: %.0fx vs CPU (paper 1509x), %.1fx vs GPU "
+                "(paper 6.5x)\n",
+                sum_cpu / n_cpu, sum_gpu / n_gpu);
+    return 0;
+}

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Figure 11 reproduction: energy of PyG-GPU and HyGCN normalized to
+ * PyG-CPU (percent). Paper: HyGCN consumes on average 0.04% of the
+ * CPU's energy (2500x reduction) and ~10% of the GPU's.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Figure 11", "normalized energy over PyG-CPU (%)");
+
+    header("model/dataset", {"GPU %", "HyGCN %"});
+    double sum_h = 0.0, sum_hg = 0.0;
+    int n = 0, ng = 0;
+    for (ModelId m : allModels()) {
+        const auto dss = m == ModelId::DFP ? diffpoolDatasets()
+                                           : figureDatasets();
+        for (DatasetId ds : dss) {
+            const double cpu = runCpu(m, ds, true).joules();
+            const double h = runHyGCN(m, ds).joules();
+            sum_h += h / cpu * 100.0;
+            ++n;
+            if (gpuWouldOomFullSize(m, ds)) {
+                std::printf("%-22s%10s%10.4f\n",
+                            (modelAbbrev(m) + "/" + datasetAbbrev(ds))
+                                .c_str(),
+                            "OoM", h / cpu * 100.0);
+                continue;
+            }
+            const double gpu = runGpu(m, ds, false).joules();
+            sum_hg += h / gpu * 100.0;
+            ++ng;
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
+                {gpu / cpu * 100.0, h / cpu * 100.0}, "%10.4f");
+        }
+    }
+    std::printf("HyGCN average: %.4f%% of CPU (paper 0.04%%), %.1f%% of "
+                "GPU (paper ~10%%)\n",
+                sum_h / n, sum_hg / ng);
+    return 0;
+}

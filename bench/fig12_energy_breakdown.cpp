@@ -1,0 +1,37 @@
+/**
+ * @file
+ * Figure 12 reproduction: HyGCN on-chip energy breakdown across the
+ * Aggregation Engine, Combination Engine, and Coordinator. Paper:
+ * the Combination Engine dominates (MVM MACs), with the Aggregation
+ * Engine share growing on high-degree graphs (CL, RD).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Figure 12", "HyGCN energy breakdown (%, on-chip)");
+
+    header("model/dataset", {"AggE %", "CombE %", "Coord %"});
+    for (ModelId m : allModels()) {
+        const auto dss = m == ModelId::DFP ? diffpoolDatasets()
+                                           : figureDatasets();
+        for (DatasetId ds : dss) {
+            const SimReport r = runHyGCN(m, ds);
+            const double agg = r.energy.component("agg_engine");
+            const double comb = r.energy.component("comb_engine");
+            const double coord = r.energy.component("coordinator");
+            const double total = agg + comb + coord;
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
+                {agg / total * 100.0, comb / total * 100.0,
+                 coord / total * 100.0});
+        }
+    }
+    return 0;
+}

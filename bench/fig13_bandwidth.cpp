@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 13 reproduction: DRAM bandwidth utilization of the three
+ * platforms. Paper: HyGCN achieves 16x the CPU's utilization and
+ * 1.5x the GPU's on average; CL is lower on HyGCN due to higher
+ * data reuse from its denser connectivity.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Figure 13", "DRAM bandwidth utilization (%)");
+
+    const CpuConfig cpu_cfg;
+    header("model/dataset", {"CPU %", "GPU %", "HyGCN %"});
+    double rc = 0.0, rg = 0.0;
+    int n = 0, ng = 0;
+    for (ModelId m : allModels()) {
+        const auto dss = m == ModelId::DFP ? diffpoolDatasets()
+                                           : figureDatasets();
+        for (DatasetId ds : dss) {
+            const SimReport c = runCpu(m, ds, true);
+            const SimReport h = runHyGCN(m, ds);
+            const double uc =
+                c.bandwidthUtilization(cpu_cfg.ddrBytesPerSec) * 100.0;
+            const double uh =
+                h.stats.gauge("dram.bandwidth_utilization") * 100.0;
+            rc += uh / std::max(uc, 1e-9);
+            ++n;
+            if (gpuWouldOomFullSize(m, ds)) {
+                std::printf("%-22s%10.2f%10s%10.2f\n",
+                            (modelAbbrev(m) + "/" + datasetAbbrev(ds))
+                                .c_str(),
+                            uc, "OoM", uh);
+                continue;
+            }
+            const SimReport g = runGpu(m, ds, false);
+            const double ug =
+                g.stats.gauge("gpu.bandwidth_utilization") * 100.0;
+            rg += uh / std::max(ug, 1e-9);
+            ++ng;
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds), {uc, ug, uh});
+        }
+    }
+    std::printf("HyGCN utilization vs CPU: %.1fx (paper 16x); vs GPU: "
+                "%.1fx (paper 1.5x)\n",
+                rc / n, rg / ng);
+    return 0;
+}

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Figure 14 reproduction: off-chip data volume of PyG-GPU and HyGCN
+ * normalized to PyG-CPU (percent). Paper: despite a 16 MB on-chip
+ * budget (vs 60 MB CPU / 34 MB GPU), HyGCN accesses only 21% / 33%
+ * of the CPU's / GPU's off-chip data on average, thanks to data
+ * reuse, sparsity elimination, and phase fusion.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Figure 14", "normalized DRAM access volume (%)");
+
+    header("model/dataset", {"GPU %", "HyGCN %"});
+    double sum_c = 0.0, sum_g = 0.0;
+    int n = 0, ng = 0;
+    for (ModelId m : allModels()) {
+        const auto dss = m == ModelId::DFP ? diffpoolDatasets()
+                                           : figureDatasets();
+        for (DatasetId ds : dss) {
+            const double cpu =
+                static_cast<double>(runCpu(m, ds, true).dramBytes());
+            const double h =
+                static_cast<double>(runHyGCN(m, ds).dramBytes());
+            sum_c += h / cpu * 100.0;
+            ++n;
+            if (gpuWouldOomFullSize(m, ds)) {
+                std::printf("%-22s%10s%10.1f\n",
+                            (modelAbbrev(m) + "/" + datasetAbbrev(ds))
+                                .c_str(),
+                            "OoM", h / cpu * 100.0);
+                continue;
+            }
+            const double gpu =
+                static_cast<double>(runGpu(m, ds, false).dramBytes());
+            sum_g += h / gpu * 100.0;
+            ++ng;
+            row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
+                {gpu / cpu * 100.0, h / cpu * 100.0}, "%10.1f");
+        }
+    }
+    std::printf("HyGCN average: %.0f%% of CPU (paper 21%%), %.0f%% of "
+                "GPU (paper 33%%)\n",
+                sum_c / n, sum_g / ng);
+    return 0;
+}

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Figure 16 reproduction: inter-engine pipeline study on GCN over
+ * CR/CS/PB.
+ *  (a) execution time with pipelining (PP) vs phase-by-phase (N-PP),
+ *      paper: 27-53% time reduction;
+ *  (b) DRAM access PP vs N-PP, paper: reduced to 50-73% (N-PP spills
+ *      the intermediate aggregation results off-chip);
+ *  (c) average vertex latency, latency-aware vs energy-aware
+ *      pipeline, paper: Lpipe 7-29% lower;
+ *  (d) Combination Engine energy, Epipe vs Lpipe, paper: Epipe saves
+ *      ~35% via aggressive weight reuse.
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Figure 16", "inter-engine pipeline (GCN on CR/CS/PB)");
+
+    const std::vector<DatasetId> datasets = {
+        DatasetId::CR, DatasetId::CS, DatasetId::PB};
+
+    std::printf("\n(a,b) pipelined (PP) vs phase-by-phase (N-PP)\n");
+    header("dataset", {"time %", "DRAM %"});
+    for (DatasetId ds : datasets) {
+        HyGCNConfig pp;
+        HyGCNConfig npp;
+        npp.interEnginePipeline = false;
+        const SimReport rp = runHyGCN(ModelId::GCN, ds, pp);
+        const SimReport rn = runHyGCN(ModelId::GCN, ds, npp);
+        row(datasetAbbrev(ds),
+            {rp.seconds() / rn.seconds() * 100.0,
+             static_cast<double>(rp.dramBytes()) /
+                 static_cast<double>(rn.dramBytes()) * 100.0});
+    }
+    std::printf("paper: time cut by 27-53%%; DRAM reduced to 50-73%%\n");
+
+    std::printf("\n(c,d) latency-aware vs energy-aware pipeline\n");
+    header("dataset", {"Lpipe lat%", "Epipe en%"});
+    for (DatasetId ds : datasets) {
+        HyGCNConfig lcfg;
+        lcfg.pipelineMode = PipelineMode::LatencyAware;
+        HyGCNConfig ecfg;
+        ecfg.pipelineMode = PipelineMode::EnergyAware;
+        const AcceleratorResult rl =
+            runHyGCNFull(ModelId::GCN, ds, lcfg);
+        const AcceleratorResult re =
+            runHyGCNFull(ModelId::GCN, ds, ecfg);
+        const double lat_ratio =
+            rl.avgVertexLatency / re.avgVertexLatency * 100.0;
+        const double energy_ratio =
+            re.report.energy.component("comb_engine") /
+            rl.report.energy.component("comb_engine") * 100.0;
+        row(datasetAbbrev(ds), {lat_ratio, energy_ratio});
+    }
+    std::printf("paper: Lpipe latency 71-93%% of Epipe; Epipe "
+                "Combination energy ~65%% of Lpipe\n");
+    return 0;
+}

@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Figure 18 reproduction: scalability exploration on GraphSage over
+ * CR/CS/PB.
+ *  (a-c) sampling-factor sweep 1..16: execution time, DRAM access,
+ *        and sparsity reduction (all Aggregation Engine only);
+ *  (d-f) Aggregation Buffer capacity sweep 2..32 MB: the same
+ *        metrics (larger buffers -> fewer loops and DRAM accesses,
+ *        but less eliminable sparsity per window);
+ *  (g)   systolic-module granularity sweep: 32 modules of 1x128 down
+ *        to 1 module of 32x128 at a fixed PE budget — vertex latency
+ *        grows with coarser modules while Combination Engine energy
+ *        falls (weights reused by more vertices per stream).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Figure 18", "scalability exploration (GSC on CR/CS/PB)");
+
+    const std::vector<DatasetId> datasets = {
+        DatasetId::CR, DatasetId::CS, DatasetId::PB};
+
+    // ---- (a-c) sampling factor sweep ------------------------------
+    std::printf("\n(a-c) sampling factor sweep (values normalized to "
+                "factor 1)\n");
+    header("dataset/factor", {"time %", "DRAM %", "spars red %"});
+    for (DatasetId ds : datasets) {
+        const AggOnlyResult base = runAggregationOnly(ds, true, 1);
+        for (std::uint32_t factor : {1u, 2u, 4u, 8u, 16u}) {
+            const AggOnlyResult r = runAggregationOnly(ds, true, factor);
+            row(datasetAbbrev(ds) + "/" + std::to_string(factor),
+                {r.seconds / base.seconds * 100.0,
+                 static_cast<double>(r.dramBytes) /
+                     static_cast<double>(base.dramBytes) * 100.0,
+                 r.sparsityReduction * 100.0});
+        }
+    }
+
+    // ---- (d-f) Aggregation Buffer capacity sweep -------------------
+    std::printf("\n(d-f) Aggregation Buffer sweep (normalized to 2 MB)\n");
+    header("dataset/MB", {"time %", "DRAM %", "spars red %"});
+    for (DatasetId ds : datasets) {
+        const AggOnlyResult base =
+            runAggregationOnly(ds, true, 1, 2ull << 20);
+        for (std::uint64_t mb : {2ull, 4ull, 8ull, 16ull, 32ull}) {
+            const AggOnlyResult r =
+                runAggregationOnly(ds, true, 1, mb << 20);
+            row(datasetAbbrev(ds) + "/" + std::to_string(mb),
+                {r.seconds / base.seconds * 100.0,
+                 static_cast<double>(r.dramBytes) /
+                     static_cast<double>(base.dramBytes) * 100.0,
+                 r.sparsityReduction * 100.0});
+        }
+    }
+
+    // ---- (g) systolic module granularity ---------------------------
+    std::printf("\n(g) systolic module granularity (32 basic 1x128 "
+                "arrays total; normalized to 32 modules)\n");
+    header("dataset/modules", {"latency %", "CombE en %"});
+    for (DatasetId ds : datasets) {
+        double base_lat = 0.0, base_energy = 0.0;
+        for (std::uint32_t modules : {32u, 16u, 8u, 4u, 2u, 1u}) {
+            HyGCNConfig config;
+            config.systolicModules = modules;
+            config.moduleRows = 32 / modules;
+            const AcceleratorResult r =
+                runHyGCNFull(ModelId::GSC, ds, config);
+            const double lat = r.avgVertexLatency;
+            const double en =
+                r.report.energy.component("comb_engine");
+            if (modules == 32) {
+                base_lat = lat;
+                base_energy = en;
+            }
+            row(datasetAbbrev(ds) + "/" + std::to_string(modules),
+                {lat / base_lat * 100.0, en / base_energy * 100.0});
+        }
+    }
+    std::printf("paper trend: coarser modules -> higher vertex latency, "
+                "lower energy\n");
+    return 0;
+}

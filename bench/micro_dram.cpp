@@ -1,0 +1,80 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the HBM timing model: service
+ * rate for streaming vs random request patterns, with and without
+ * low-bit channel interleaving. Validates that the model itself is
+ * fast enough to back the execution-driven simulation.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "mem/dram.hpp"
+#include "sim/rng.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+std::vector<MemRequest>
+makeRequests(std::size_t count, bool sequential)
+{
+    Rng rng(99);
+    std::vector<MemRequest> reqs;
+    reqs.reserve(count);
+    for (std::size_t i = 0; i < count; ++i) {
+        const Addr addr = sequential
+                              ? static_cast<Addr>(i) * kLineBytes
+                              : (rng.next() % (1ull << 30)) & ~63ull;
+        reqs.push_back({addr, 64, false, RequestType::InputFeature});
+    }
+    return reqs;
+}
+
+void
+BM_HbmStreaming(benchmark::State &state)
+{
+    const auto reqs = makeRequests(
+        static_cast<std::size_t>(state.range(0)), true);
+    HbmModel hbm{HbmConfig{}};
+    for (auto _ : state) {
+        hbm.resetTiming();
+        benchmark::DoNotOptimize(hbm.serviceBatch(reqs, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * reqs.size());
+}
+
+void
+BM_HbmRandom(benchmark::State &state)
+{
+    const auto reqs = makeRequests(
+        static_cast<std::size_t>(state.range(0)), false);
+    HbmModel hbm{HbmConfig{}};
+    for (auto _ : state) {
+        hbm.resetTiming();
+        benchmark::DoNotOptimize(hbm.serviceBatch(reqs, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * reqs.size());
+}
+
+void
+BM_HbmHighBitMap(benchmark::State &state)
+{
+    HbmConfig config;
+    config.lowBitChannelInterleave = false;
+    const auto reqs = makeRequests(
+        static_cast<std::size_t>(state.range(0)), true);
+    HbmModel hbm(config);
+    for (auto _ : state) {
+        hbm.resetTiming();
+        benchmark::DoNotOptimize(hbm.serviceBatch(reqs, 0));
+    }
+    state.SetItemsProcessed(state.iterations() * reqs.size());
+}
+
+} // namespace
+
+BENCHMARK(BM_HbmStreaming)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_HbmRandom)->Arg(1 << 12)->Arg(1 << 16);
+BENCHMARK(BM_HbmHighBitMap)->Arg(1 << 12)->Arg(1 << 16);

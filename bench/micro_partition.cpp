@@ -1,0 +1,67 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the graph partitioner: window
+ * plan construction throughput with and without sparsity elimination
+ * on the COLLAB-scale graph, plus neighbor sampling throughput.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "graph/dataset.hpp"
+#include "graph/sampling.hpp"
+#include "graph/window.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+const Dataset &
+collab()
+{
+    static const Dataset ds = makeDataset(DatasetId::CL, 1);
+    return ds;
+}
+
+void
+BM_WindowPlanEliminate(benchmark::State &state)
+{
+    const Dataset &ds = collab();
+    const EdgeSet edges = EdgeSet::fromGraph(ds.graph, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(buildWindowPlan(
+            edges.view(), static_cast<VertexId>(state.range(0)), 32,
+            1 << 18, true));
+    }
+    state.SetItemsProcessed(state.iterations() * edges.numEdges());
+}
+
+void
+BM_WindowPlanGrid(benchmark::State &state)
+{
+    const Dataset &ds = collab();
+    const EdgeSet edges = EdgeSet::fromGraph(ds.graph, true);
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(buildWindowPlan(
+            edges.view(), static_cast<VertexId>(state.range(0)), 32,
+            1 << 18, false));
+    }
+    state.SetItemsProcessed(state.iterations() * edges.numEdges());
+}
+
+void
+BM_NeighborSampling(benchmark::State &state)
+{
+    const Dataset &ds = collab();
+    for (auto _ : state) {
+        benchmark::DoNotOptimize(NeighborSampler::sampleMaxNeighbors(
+            ds.graph.csc(), static_cast<std::uint32_t>(state.range(0)),
+            7));
+    }
+    state.SetItemsProcessed(state.iterations() * ds.numEdges());
+}
+
+} // namespace
+
+BENCHMARK(BM_WindowPlanEliminate)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_WindowPlanGrid)->Arg(1024)->Arg(4096);
+BENCHMARK(BM_NeighborSampling)->Arg(5)->Arg(25);

@@ -1,0 +1,41 @@
+/**
+ * @file
+ * Table 2 reproduction: quantitative characterization of GCN on the
+ * COLLAB dataset on the PyG-CPU model. Paper values for comparison:
+ * DRAM bytes/op 11.6 vs 0.06, DRAM energy/op 170 nJ vs 0.5 nJ, L2
+ * MPKI 11 vs 1.5, L3 MPKI 10 vs 0.9, sync ratio 36% (Combination).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Table 2", "CPU characterization of GCN on COLLAB (CL)");
+
+    const SimReport r = runCpu(ModelId::GCN, DatasetId::CL, false);
+
+    header("metric", {"Agg", "Comb"});
+    row("DRAM bytes per op", {r.stats.gauge("cpu.agg_bytes_per_op"),
+                              r.stats.gauge("cpu.comb_bytes_per_op")},
+        "%10.3f");
+    row("DRAM energy/op (nJ)",
+        {r.stats.gauge("cpu.agg_dram_energy_per_op_nj"),
+         r.stats.gauge("cpu.comb_dram_energy_per_op_nj")},
+        "%10.3f");
+    row("L2 cache MPKI", {r.stats.gauge("cpu.agg_l2_mpki"),
+                          r.stats.gauge("cpu.comb_l2_mpki")});
+    row("L3 cache MPKI", {r.stats.gauge("cpu.agg_l3_mpki"),
+                          r.stats.gauge("cpu.comb_l3_mpki")});
+    std::printf("%-22s%10s%9.0f%%\n", "Sync time ratio", "-",
+                r.stats.gauge("cpu.sync_ratio") * 100.0);
+
+    std::printf("\npaper: 11.6 / 0.06 B/op; 170 / 0.5 nJ/op; "
+                "L2 MPKI 11 / 1.5; L3 MPKI 10 / 0.9; sync 36%%\n");
+    return 0;
+}

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Table 6 reproduction: the evaluated system configurations of the
+ * three platforms (PyG-CPU, PyG-GPU, HyGCN).
+ */
+
+#include <cstdio>
+
+#include "bench/common.hpp"
+
+using namespace hygcn;
+using namespace hygcn::bench;
+
+int
+main()
+{
+    banner("Table 6", "System configurations");
+
+    const CpuConfig cpu;
+    const GpuConfig gpu;
+    const HyGCNConfig h;
+
+    std::printf("%-16s %s\n", "PyG-CPU:",
+                "2.5 GHz @ 24 cores, 60 MB on-chip, 136.5 GB/s DDR4");
+    std::printf("%-16s   modeled: %.1f GHz, %u cores, L3 %.0f MB, "
+                "%.1f GB/s\n",
+                "", cpu.ghz, cpu.cores,
+                cpu.l3.capacityBytes / 1048576.0 * 2,
+                cpu.ddrBytesPerSec / 1e9);
+    std::printf("%-16s %s\n", "PyG-GPU:",
+                "1.25 GHz @ 5120 cores, 34 MB on-chip, ~900 GB/s HBM2");
+    std::printf("%-16s   modeled: %.2f GHz, %.0f GFLOPS peak, "
+                "%.0f GB/s\n",
+                "", gpu.clockGhz, gpu.peakFlops / 1e9,
+                gpu.memBytesPerSec / 1e9);
+    std::printf("%-16s 1 GHz @ %u SIMD%u cores and %u systolic modules "
+                "(each %ux%u)\n",
+                "HyGCN:", h.simdCores, h.simdWidth, h.systolicModules,
+                h.moduleRows, h.moduleCols);
+    std::printf("%-16s   buffers: %llu KB input, %llu MB edge, %llu MB "
+                "weight, %llu MB output, %llu MB aggregation\n",
+                "",
+                static_cast<unsigned long long>(h.inputBufBytes / 1024),
+                static_cast<unsigned long long>(h.edgeBufBytes >> 20),
+                static_cast<unsigned long long>(h.weightBufBytes >> 20),
+                static_cast<unsigned long long>(h.outputBufBytes >> 20),
+                static_cast<unsigned long long>(h.aggBufBytes >> 20));
+    std::printf("%-16s   HBM 1.0: %u channels x %u banks, %.0f GB/s\n",
+                "", h.hbm.channels, h.hbm.banksPerChannel,
+                h.hbm.peakBytesPerSec() / 1e9);
+    return 0;
+}

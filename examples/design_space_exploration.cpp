@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Design-space exploration with the simulator — the workflow a
+ * hardware architect would use this library for. Sweeps the two
+ * levers the paper studies in Fig 18 (Aggregation Buffer capacity
+ * and systolic module granularity) plus the pipeline mode, on
+ * Pubmed/GCN, and prints a time/energy table with the Pareto points
+ * marked.
+ */
+
+#include <cstdio>
+#include <vector>
+
+#include "core/accelerator.hpp"
+#include "core/area_power.hpp"
+#include "graph/dataset.hpp"
+#include "model/models.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+struct DesignPoint
+{
+    std::string name;
+    double seconds;
+    double joules;
+    double areaMm2;
+};
+
+} // namespace
+
+int
+main()
+{
+    const Dataset dataset = makeDataset(DatasetId::PB, 1);
+    const ModelConfig model = makeModel(ModelId::GCN, dataset.featureLen);
+    const ModelParams params = makeParams(model, 21);
+
+    std::vector<DesignPoint> points;
+    for (std::uint64_t agg_mb : {4ull, 16ull, 32ull}) {
+        for (std::uint32_t modules : {32u, 8u, 1u}) {
+            for (PipelineMode mode : {PipelineMode::LatencyAware,
+                                      PipelineMode::EnergyAware}) {
+                HyGCNConfig config;
+                config.aggBufBytes = agg_mb << 20;
+                config.systolicModules = modules;
+                config.moduleRows = 32 / modules;
+                config.pipelineMode = mode;
+
+                HyGCNAccelerator accel(config);
+                const AcceleratorResult r =
+                    accel.run(dataset, model, params, nullptr, 7);
+                const AreaPowerBreakdown ap = computeAreaPower(config);
+
+                char name[64];
+                std::snprintf(name, sizeof(name), "agg=%lluMB m=%2u %s",
+                              static_cast<unsigned long long>(agg_mb),
+                              modules,
+                              mode == PipelineMode::LatencyAware ? "L"
+                                                                 : "E");
+                points.push_back({name, r.report.seconds(),
+                                  r.report.joules(), ap.totalAreaMm2()});
+            }
+        }
+    }
+
+    // Mark time/energy Pareto-optimal configurations.
+    std::printf("%-22s%12s%12s%10s  %s\n", "configuration", "time",
+                "energy", "area", "pareto");
+    for (const DesignPoint &p : points) {
+        bool dominated = false;
+        for (const DesignPoint &q : points) {
+            if (q.seconds < p.seconds && q.joules < p.joules) {
+                dominated = true;
+                break;
+            }
+        }
+        std::printf("%-22s%12s%12s%8.2fmm2  %s\n", p.name.c_str(),
+                    formatSeconds(p.seconds).c_str(),
+                    formatJoules(p.joules).c_str(), p.areaMm2,
+                    dominated ? "" : "*");
+    }
+    return 0;
+}

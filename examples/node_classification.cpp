@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Node classification on the Cora stand-in (the paper's headline GCN
+ * use case): run a 2-layer GCN through the accelerator, derive class
+ * predictions from the final embeddings, check fixed-point accuracy
+ * (the hardware datapath is 32-bit fixed point), and compare the
+ * three platforms' time and energy on the same workload.
+ */
+
+#include <algorithm>
+#include <cstdio>
+
+#include "baseline/cpu_model.hpp"
+#include "baseline/gpu_model.hpp"
+#include "core/accelerator.hpp"
+#include "graph/dataset.hpp"
+#include "model/fixed_point.hpp"
+#include "model/models.hpp"
+#include "model/reference.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+/** Argmax over a row = predicted class (7 classes, Cora-style). */
+std::size_t
+predictClass(std::span<const float> row)
+{
+    constexpr std::size_t kClasses = 7;
+    std::size_t best = 0;
+    for (std::size_t c = 1; c < kClasses; ++c) {
+        if (row[c] > row[best])
+            best = c;
+    }
+    return best;
+}
+
+} // namespace
+
+int
+main()
+{
+    const Dataset dataset = makeDataset(DatasetId::CR, 1);
+    const ModelConfig model = makeModel(ModelId::GCN, dataset.featureLen);
+    const ModelParams params = makeParams(model, 11);
+    const Matrix x0 =
+        makeFeatures(dataset.numVertices(), dataset.featureLen, 5);
+
+    std::printf("== node classification: GCN on %s ==\n",
+                dataset.name.c_str());
+
+    // Accelerator run (functional).
+    HyGCNAccelerator accel{HyGCNConfig{}};
+    const AcceleratorResult result =
+        accel.run(dataset, model, params, &x0, 7);
+    const Matrix &embeddings = result.layerOutputs.back();
+
+    // Class histogram from embeddings.
+    std::size_t histogram[7] = {};
+    for (std::size_t v = 0; v < embeddings.rows(); ++v)
+        ++histogram[predictClass(embeddings.row(v))];
+    std::printf("predicted class histogram:");
+    for (std::size_t c = 0; c < 7; ++c)
+        std::printf(" %zu", histogram[c]);
+    std::printf("\n");
+
+    // Fixed-point sanity: quantize inputs/weights to Q16.16 and
+    // check that predictions survive the hardware precision.
+    Matrix xq = x0;
+    quantizeInPlace(xq);
+    ModelParams pq = params;
+    for (auto &stage : pq.weights)
+        for (Matrix &w : stage)
+            quantizeInPlace(w);
+    const ReferenceExecutor reference(dataset.graph);
+    const ReferenceResult fq = reference.run(model, pq, xq, 7);
+    std::size_t flips = 0;
+    for (std::size_t v = 0; v < embeddings.rows(); ++v) {
+        if (predictClass(embeddings.row(v)) !=
+            predictClass(fq.layerOutputs.back().row(v)))
+            ++flips;
+    }
+    std::printf("Q16.16 fixed-point prediction flips: %zu / %u "
+                "(%.2f%%)\n",
+                flips, dataset.numVertices(),
+                100.0 * flips / dataset.numVertices());
+
+    // Cross-platform comparison on the same workload.
+    CpuModel cpu;
+    GpuModel gpu;
+    const SimReport rc = cpu.run(dataset, model, 7, {});
+    const SimReport rg = gpu.run(dataset, model, 7, {});
+    const SimReport &rh = result.report;
+    std::printf("\n%-10s%14s%14s\n", "platform", "time", "energy");
+    for (const SimReport *r : {&rc, &rg, &rh}) {
+        std::printf("%-10s%14s%14s\n", r->platform.c_str(),
+                    formatSeconds(r->seconds()).c_str(),
+                    formatJoules(r->joules()).c_str());
+    }
+    std::printf("HyGCN speedup: %.0fx vs CPU, %.1fx vs GPU\n",
+                rc.seconds() / rh.seconds(),
+                rg.seconds() / rh.seconds());
+    return flips * 100 > dataset.numVertices() ? 1 : 0;
+}

@@ -1,0 +1,79 @@
+#include "baseline/cache.hpp"
+
+#include <algorithm>
+
+namespace hygcn {
+
+CacheLevel::CacheLevel(const CacheLevelConfig &config) : config_(config)
+{
+    const std::uint64_t lines = config_.capacityBytes / config_.lineBytes;
+    const std::uint64_t num_sets =
+        std::max<std::uint64_t>(1, lines / config_.associativity);
+    sets_.resize(num_sets);
+    for (auto &set : sets_)
+        set.reserve(config_.associativity);
+}
+
+bool
+CacheLevel::access(Addr addr)
+{
+    ++accesses_;
+    const std::uint64_t line = addr / config_.lineBytes;
+    auto &set = sets_[line % sets_.size()];
+
+    auto it = std::find(set.begin(), set.end(), line);
+    if (it != set.end()) {
+        // Move to MRU position.
+        set.erase(it);
+        set.insert(set.begin(), line);
+        return true;
+    }
+    ++misses_;
+    if (set.size() >= config_.associativity)
+        set.pop_back();
+    set.insert(set.begin(), line);
+    return false;
+}
+
+void
+CacheLevel::reset()
+{
+    for (auto &set : sets_)
+        set.clear();
+    accesses_ = 0;
+    misses_ = 0;
+}
+
+CacheHierarchy::CacheHierarchy(const CacheLevelConfig &l1,
+                               const CacheLevelConfig &l2,
+                               const CacheLevelConfig &l3)
+{
+    levels_.emplace_back(l1);
+    levels_.emplace_back(l2);
+    levels_.emplace_back(l3);
+}
+
+int
+CacheHierarchy::access(Addr addr)
+{
+    for (std::size_t i = 0; i < levels_.size(); ++i) {
+        if (levels_[i].access(addr))
+            return static_cast<int>(i) + 1;
+    }
+    return static_cast<int>(levels_.size()) + 1;
+}
+
+std::uint64_t
+CacheHierarchy::dramBytes() const
+{
+    return levels_.back().misses() * 64ull;
+}
+
+void
+CacheHierarchy::reset()
+{
+    for (auto &level : levels_)
+        level.reset();
+}
+
+} // namespace hygcn

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * HyGCNAccelerator: the top-level facade tying together the
+ * Aggregation Engine, Combination Engine, Coordinator (ping-pong
+ * Aggregation Buffer + memory access coordination), and the HBM
+ * model. One call runs a full GCN model inference over a dataset and
+ * returns timing, energy, statistics, and (optionally) bit-exact
+ * functional outputs.
+ */
+
+#ifndef HYGCN_CORE_ACCELERATOR_HPP
+#define HYGCN_CORE_ACCELERATOR_HPP
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/config.hpp"
+#include "graph/dataset.hpp"
+#include "model/models.hpp"
+#include "model/reference.hpp"
+#include "sim/report.hpp"
+#include "sim/trace.hpp"
+
+namespace hygcn {
+
+/** Outcome of one accelerated inference run. */
+struct AcceleratorResult
+{
+    /** Timing / energy / statistics. */
+    SimReport report;
+    /** Functional per-layer outputs (empty in timing-only runs). */
+    std::vector<Matrix> layerOutputs;
+    /** Readout rows per component (if requested; functional runs). */
+    Matrix readout;
+    /** DiffPool pooled features per component (functional runs). */
+    std::vector<Matrix> pooledX;
+    /** DiffPool pooled adjacency per component (functional runs). */
+    std::vector<Matrix> pooledA;
+    /** Average vertex latency in cycles (Fig 16c metric). */
+    double avgVertexLatency = 0.0;
+};
+
+/** The HyGCN accelerator simulator. */
+class HyGCNAccelerator
+{
+  public:
+    explicit HyGCNAccelerator(HyGCNConfig config);
+
+    /**
+     * Run inference of @p model over @p dataset.
+     *
+     * @param params Model parameters (weights/biases).
+     * @param x0 Input features; nullptr selects timing-only mode
+     *        (no functional outputs, much faster on large graphs).
+     * @param sample_seed Neighbor-sampling seed (must match the
+     *        reference run for functional comparison).
+     * @param with_readout Also perform the Readout operation
+     *        (multi-graph datasets).
+     * @param trace Optional span recorder: per-interval activity of
+     *        both engines is logged, letting callers verify pipeline
+     *        overlap or render a Gantt chart.
+     */
+    AcceleratorResult run(const Dataset &dataset, const ModelConfig &model,
+                          const ModelParams &params,
+                          const Matrix *x0 = nullptr,
+                          std::uint64_t sample_seed = 7,
+                          bool with_readout = false,
+                          Trace *trace = nullptr);
+
+    const HyGCNConfig &config() const { return config_; }
+
+  private:
+    HyGCNConfig config_;
+};
+
+} // namespace hygcn
+
+#endif // HYGCN_CORE_ACCELERATOR_HPP

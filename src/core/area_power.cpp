@@ -1,0 +1,100 @@
+#include "core/area_power.hpp"
+
+namespace hygcn {
+
+namespace {
+
+// 12 nm technology constants, calibrated so the Table 6 default
+// configuration reproduces the paper's Table 7 totals (6.7 W,
+// 7.8 mm^2) and percentage breakdown.
+constexpr double kEdramWattPerMb = 0.0745;   // eDRAM macro power
+constexpr double kEdramMm2PerMb = 0.171;     // eDRAM macro area
+constexpr double kPeWatt = 990e-6;           // one systolic PE (MAC)
+constexpr double kPeMm2 = 818e-6;
+constexpr double kSimdLaneWatt = 504e-6;     // one SIMD ALU lane
+constexpr double kSimdLaneMm2 = 218e-6;
+constexpr double kAggCtrlWatt = 0.032;       // eSched+Sampler+Eliminator
+constexpr double kAggCtrlMm2 = 0.014;
+constexpr double kCombCtrlWatt = 0.021;      // vSched + Activate Unit
+constexpr double kCombCtrlMm2 = 0.0055;
+constexpr double kCoordCtrlWatt = 0.027;     // Coordinator + Mem Handler
+constexpr double kCoordCtrlMm2 = 0.0148;
+
+double
+toMb(std::uint64_t bytes)
+{
+    return static_cast<double>(bytes) / (1024.0 * 1024.0);
+}
+
+} // namespace
+
+double
+AreaPowerBreakdown::totalPowerWatt() const
+{
+    double sum = 0.0;
+    for (const auto &e : entries)
+        sum += e.powerWatt;
+    return sum;
+}
+
+double
+AreaPowerBreakdown::totalAreaMm2() const
+{
+    double sum = 0.0;
+    for (const auto &e : entries)
+        sum += e.areaMm2;
+    return sum;
+}
+
+double
+AreaPowerBreakdown::powerPercent(const AreaPowerEntry &entry) const
+{
+    const double total = totalPowerWatt();
+    return total > 0 ? entry.powerWatt / total * 100.0 : 0.0;
+}
+
+double
+AreaPowerBreakdown::areaPercent(const AreaPowerEntry &entry) const
+{
+    const double total = totalAreaMm2();
+    return total > 0 ? entry.areaMm2 / total * 100.0 : 0.0;
+}
+
+AreaPowerBreakdown
+computeAreaPower(const HyGCNConfig &config)
+{
+    AreaPowerBreakdown b;
+
+    const double agg_buf_mb =
+        toMb(config.edgeBufBytes + config.inputBufBytes);
+    const double comb_buf_mb =
+        toMb(config.weightBufBytes + config.outputBufBytes);
+    const double coord_buf_mb = toMb(config.aggBufBytes);
+
+    b.entries.push_back({"Aggregation Engine", "Buffer",
+                         agg_buf_mb * kEdramWattPerMb,
+                         agg_buf_mb * kEdramMm2PerMb});
+    b.entries.push_back({"Aggregation Engine", "Computation",
+                         config.totalLanes() * kSimdLaneWatt,
+                         config.totalLanes() * kSimdLaneMm2});
+    b.entries.push_back({"Aggregation Engine", "Control", kAggCtrlWatt,
+                         kAggCtrlMm2});
+
+    b.entries.push_back({"Combination Engine", "Buffer",
+                         comb_buf_mb * kEdramWattPerMb * 2.15,
+                         comb_buf_mb * kEdramMm2PerMb * 1.15});
+    b.entries.push_back({"Combination Engine", "Computation",
+                         config.totalPes() * kPeWatt,
+                         config.totalPes() * kPeMm2});
+    b.entries.push_back({"Combination Engine", "Control", kCombCtrlWatt,
+                         kCombCtrlMm2});
+
+    b.entries.push_back({"Coordinator", "Buffer",
+                         coord_buf_mb * kEdramWattPerMb,
+                         coord_buf_mb * kEdramMm2PerMb});
+    b.entries.push_back({"Coordinator", "Control", kCoordCtrlWatt,
+                         kCoordCtrlMm2});
+    return b;
+}
+
+} // namespace hygcn

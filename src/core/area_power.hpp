@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Analytical area/power model (substitute for the paper's Synopsys
+ * DC + Cacti flow at TSMC 12 nm). Parametric in the accelerator
+ * configuration; at the Table 6 default it reproduces the paper's
+ * Table 7 breakdown: 6.7 W, 7.8 mm^2, with the Combination Engine
+ * computation dominating power (~60%) and the Coordinator's
+ * Aggregation Buffer dominating buffer area (~35%).
+ */
+
+#ifndef HYGCN_CORE_AREA_POWER_HPP
+#define HYGCN_CORE_AREA_POWER_HPP
+
+#include <string>
+#include <vector>
+
+#include "core/config.hpp"
+
+namespace hygcn {
+
+/** One Table 7 row. */
+struct AreaPowerEntry
+{
+    std::string module;    ///< "Aggregation Engine", ...
+    std::string component; ///< "Buffer", "Computation", "Control"
+    double powerWatt = 0.0;
+    double areaMm2 = 0.0;
+};
+
+/** Full area/power breakdown. */
+struct AreaPowerBreakdown
+{
+    std::vector<AreaPowerEntry> entries;
+
+    double totalPowerWatt() const;
+    double totalAreaMm2() const;
+
+    /** Percentage share helpers for harness output. */
+    double powerPercent(const AreaPowerEntry &entry) const;
+    double areaPercent(const AreaPowerEntry &entry) const;
+};
+
+/** Evaluate the model for configuration @p config. */
+AreaPowerBreakdown computeAreaPower(const HyGCNConfig &config);
+
+} // namespace hygcn
+
+#endif // HYGCN_CORE_AREA_POWER_HPP

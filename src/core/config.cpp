@@ -1,0 +1,33 @@
+#include "core/config.hpp"
+
+#include <stdexcept>
+
+namespace hygcn {
+
+void
+HyGCNConfig::validate() const
+{
+    auto require = [](bool ok, const char *what) {
+        if (!ok)
+            throw std::invalid_argument(what);
+    };
+    require(simdCores > 0, "simdCores must be positive");
+    require(simdWidth > 0, "simdWidth must be positive");
+    require(systolicModules > 0, "systolicModules must be positive");
+    require(moduleRows > 0, "moduleRows must be positive");
+    require(moduleCols > 0, "moduleCols must be positive");
+    require(inputBufBytes >= 2 * kLineBytes, "Input Buffer too small");
+    require(edgeBufBytes >= 2 * kLineBytes, "Edge Buffer too small");
+    require(weightBufBytes >= 2 * kLineBytes, "Weight Buffer too small");
+    require(outputBufBytes >= 2 * kLineBytes, "Output Buffer too small");
+    require(aggBufBytes >= 2 * kLineBytes,
+            "Aggregation Buffer too small");
+    require(clockHz > 0.0, "clock frequency must be positive");
+    require(hbm.channels > 0 && hbm.banksPerChannel > 0,
+            "HBM geometry must be positive");
+    require(hbm.rowBytes >= kLineBytes && hbm.rowBytes % kLineBytes == 0,
+            "HBM row must be a positive multiple of the line size");
+    require(hbm.bytesPerCycle > 0, "HBM bus width must be positive");
+}
+
+} // namespace hygcn

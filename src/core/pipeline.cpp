@@ -1,0 +1,3 @@
+// InterEnginePipeline is header-only; this translation unit anchors
+// the module in the build.
+#include "core/pipeline.hpp"

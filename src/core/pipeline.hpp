@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Inter-engine pipeline tracker (paper section 4.5.1). The ping-pong
+ * Aggregation Buffer has two chunks: while the Combination Engine
+ * consumes interval i-1 from one chunk, the Aggregation Engine fills
+ * the other with interval i. Aggregation of interval i therefore may
+ * not start before combination of interval i-2 released its chunk.
+ */
+
+#ifndef HYGCN_CORE_PIPELINE_HPP
+#define HYGCN_CORE_PIPELINE_HPP
+
+#include <algorithm>
+
+#include "sim/types.hpp"
+
+namespace hygcn {
+
+/** Interval-level pipeline recurrence for the two engines. */
+class InterEnginePipeline
+{
+  public:
+    /**
+     * @param pipelined False models N-PP phase-by-phase execution
+     *        (combination strictly after the aggregation it follows,
+     *        no overlap between intervals).
+     */
+    InterEnginePipeline(bool pipelined, Cycle start)
+        : pipelined_(pipelined), aggPrev_(start), combPrev_(start),
+          combPrev2_(start)
+    {}
+
+    /** Earliest start cycle for the next aggregation interval. */
+    Cycle
+    aggStart() const
+    {
+        return pipelined_ ? std::max(aggPrev_, combPrev2_)
+                          : std::max(aggPrev_, combPrev_);
+    }
+
+    /** Record aggregation completion of the current interval. */
+    void noteAggFinish(Cycle cycle) { aggPrev_ = std::max(aggPrev_, cycle); }
+
+    /** Earliest start for the combination of the current interval. */
+    Cycle
+    combStart(Cycle agg_finish) const
+    {
+        return std::max(agg_finish, combPrev_);
+    }
+
+    /** Record combination completion of the current interval. */
+    void
+    noteCombFinish(Cycle cycle)
+    {
+        combPrev2_ = combPrev_;
+        combPrev_ = std::max(combPrev_, cycle);
+    }
+
+    /** Completion cycle of everything recorded so far. */
+    Cycle finish() const { return std::max(aggPrev_, combPrev_); }
+
+  private:
+    bool pipelined_;
+    Cycle aggPrev_;
+    Cycle combPrev_;
+    Cycle combPrev2_;
+};
+
+} // namespace hygcn
+
+#endif // HYGCN_CORE_PIPELINE_HPP

@@ -1,0 +1,33 @@
+#include "core/systolic.hpp"
+#include <algorithm>
+
+namespace hygcn {
+
+SystolicCost
+systolicBatchCost(const SystolicGeometry &geom, std::uint64_t group_size,
+                  std::uint64_t f_in, std::uint64_t f_out,
+                  bool weights_forwarded)
+{
+    SystolicCost cost;
+    if (group_size == 0 || f_in == 0 || f_out == 0)
+        return cost;
+
+    const std::uint64_t row_tiles = (f_in + geom.rows - 1) / geom.rows;
+    const std::uint64_t col_tiles = (f_out + geom.cols - 1) / geom.cols;
+    const std::uint64_t tiles = row_tiles * col_tiles;
+
+    // Per weight tile the group streams through (one vertex per
+    // cycle); the next tile's weights shift in behind the live ones
+    // (R cycles, row-parallel), so a tile occupies max(G, R) cycles.
+    // The array fill/drain (rows + cols) is paid once per pass.
+    const Cycle per_tile =
+        std::max<Cycle>(group_size, geom.rows);
+    cost.cycles = tiles * per_tile + geom.rows + geom.cols;
+
+    cost.macs = group_size * f_in * f_out;
+    if (!weights_forwarded)
+        cost.weightReadBytes = f_in * f_out * kElemBytes;
+    return cost;
+}
+
+} // namespace hygcn

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Timing/energy model of one (possibly merged) weight-stationary
+ * systolic array processing matrix-vector multiplies (paper section
+ * 4.4). A module of R x C PEs streams ceil(F_in/R) weight tiles; a
+ * group of G vertices pipelines through each tile, so throughput
+ * approaches R*C MACs/cycle for large G while G=1 pays the fill and
+ * drain latency per vertex.
+ */
+
+#ifndef HYGCN_CORE_SYSTOLIC_HPP
+#define HYGCN_CORE_SYSTOLIC_HPP
+
+#include <cstdint>
+
+#include "sim/types.hpp"
+
+namespace hygcn {
+
+/** Geometry of one systolic array (a module, or merged modules). */
+struct SystolicGeometry
+{
+    std::uint32_t rows = 4;
+    std::uint32_t cols = 128;
+
+    std::uint64_t pes() const
+    { return static_cast<std::uint64_t>(rows) * cols; }
+};
+
+/** Timing result of one MVM batch on one array. */
+struct SystolicCost
+{
+    /** Cycles to process the batch. */
+    Cycle cycles = 0;
+    /** MAC operations executed. */
+    std::uint64_t macs = 0;
+    /** Weight bytes streamed from the Weight Buffer into the array. */
+    std::uint64_t weightReadBytes = 0;
+};
+
+/**
+ * Cost of a batch of @p group_size vertices each performing an
+ * (f_in x f_out) MVM on an array of @p geom.
+ *
+ * @param weights_forwarded True when the weights arrive from a
+ *        neighboring module (cooperative chain) instead of the
+ *        Weight Buffer, zeroing weightReadBytes.
+ */
+SystolicCost systolicBatchCost(const SystolicGeometry &geom,
+                               std::uint64_t group_size, std::uint64_t f_in,
+                               std::uint64_t f_out,
+                               bool weights_forwarded);
+
+} // namespace hygcn
+
+#endif // HYGCN_CORE_SYSTOLIC_HPP

@@ -1,0 +1,152 @@
+#include "graph/generator.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <unordered_set>
+
+namespace hygcn {
+
+namespace {
+
+/** Pack an undirected edge into a canonical 64-bit key. */
+std::uint64_t
+edgeKey(VertexId a, VertexId b)
+{
+    if (a > b)
+        std::swap(a, b);
+    return (static_cast<std::uint64_t>(a) << 32) | b;
+}
+
+} // namespace
+
+EdgeList
+generateUniform(VertexId num_vertices, EdgeId num_edges, Rng &rng)
+{
+    assert(num_vertices >= 2);
+    const EdgeId max_edges =
+        static_cast<EdgeId>(num_vertices) * (num_vertices - 1) / 2;
+    if (num_edges > max_edges)
+        num_edges = max_edges;
+
+    EdgeList edges;
+    edges.reserve(num_edges);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(num_edges * 2);
+    while (edges.size() < num_edges) {
+        const auto a = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        const auto b = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        if (a == b)
+            continue;
+        if (seen.insert(edgeKey(a, b)).second)
+            edges.emplace_back(a, b);
+    }
+    return edges;
+}
+
+EdgeList
+generateRmat(VertexId num_vertices, EdgeId num_edges, Rng &rng)
+{
+    assert(num_vertices >= 2);
+    int levels = 0;
+    while ((VertexId(1) << levels) < num_vertices)
+        ++levels;
+
+    constexpr double a = 0.57, b = 0.19, c = 0.19;
+    EdgeList edges;
+    edges.reserve(num_edges);
+    std::unordered_set<std::uint64_t> seen;
+    seen.reserve(num_edges * 2);
+
+    std::uint64_t attempts = 0;
+    const std::uint64_t max_attempts = num_edges * 64ull + 1024;
+    while (edges.size() < num_edges && attempts < max_attempts) {
+        ++attempts;
+        VertexId src = 0, dst = 0;
+        for (int level = 0; level < levels; ++level) {
+            const double p = rng.nextDouble();
+            // Add per-level noise so degrees are not perfectly nested.
+            const double jitter = 0.05 * (rng.nextDouble() - 0.5);
+            const double aa = a + jitter;
+            src <<= 1;
+            dst <<= 1;
+            if (p < aa) {
+                // top-left quadrant: no bits set
+            } else if (p < aa + b) {
+                dst |= 1;
+            } else if (p < aa + b + c) {
+                src |= 1;
+            } else {
+                src |= 1;
+                dst |= 1;
+            }
+        }
+        if (src >= num_vertices || dst >= num_vertices || src == dst)
+            continue;
+        if (seen.insert(edgeKey(src, dst)).second)
+            edges.emplace_back(src, dst);
+    }
+    // Top up with uniform edges if R-MAT saturated (tiny graphs).
+    while (edges.size() < num_edges) {
+        const auto s = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        const auto d = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        if (s == d)
+            continue;
+        if (seen.insert(edgeKey(s, d)).second)
+            edges.emplace_back(s, d);
+    }
+    return edges;
+}
+
+EdgeList
+generateCommunity(VertexId num_vertices, EdgeId num_edges, Rng &rng)
+{
+    // Dense community: start from a ring (guarantees connectivity),
+    // then fill with uniform random internal edges.
+    EdgeList edges;
+    std::unordered_set<std::uint64_t> seen;
+    if (num_vertices >= 3) {
+        for (VertexId v = 0; v < num_vertices; ++v) {
+            const VertexId u = (v + 1) % num_vertices;
+            if (seen.insert(edgeKey(v, u)).second)
+                edges.emplace_back(v, u);
+        }
+    } else if (num_vertices == 2) {
+        edges.emplace_back(0, 1);
+        seen.insert(edgeKey(0, 1));
+    }
+    const EdgeId max_edges =
+        static_cast<EdgeId>(num_vertices) * (num_vertices - 1) / 2;
+    const EdgeId target = std::min<EdgeId>(num_edges, max_edges);
+    while (edges.size() < target) {
+        const auto a = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        const auto b = static_cast<VertexId>(rng.nextBounded(num_vertices));
+        if (a == b)
+            continue;
+        if (seen.insert(edgeKey(a, b)).second)
+            edges.emplace_back(a, b);
+    }
+    return edges;
+}
+
+EdgeList
+assembleComponents(const std::vector<VertexId> &component_sizes,
+                   const std::vector<EdgeId> &component_edges,
+                   Rng &rng, std::vector<VertexId> &boundaries)
+{
+    assert(component_sizes.size() == component_edges.size());
+    EdgeList all;
+    boundaries.clear();
+    boundaries.push_back(0);
+    VertexId offset = 0;
+    for (std::size_t i = 0; i < component_sizes.size(); ++i) {
+        EdgeList part =
+            generateCommunity(component_sizes[i], component_edges[i], rng);
+        for (auto &[s, d] : part)
+            all.emplace_back(s + offset, d + offset);
+        offset += component_sizes[i];
+        boundaries.push_back(offset);
+    }
+    return all;
+}
+
+} // namespace hygcn

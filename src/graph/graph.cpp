@@ -1,0 +1,136 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hygcn {
+
+Graph
+Graph::fromEdges(VertexId num_vertices,
+                 std::vector<std::pair<VertexId, VertexId>> edges,
+                 bool symmetrize)
+{
+    if (symmetrize) {
+        const std::size_t n = edges.size();
+        edges.reserve(n * 2);
+        for (std::size_t i = 0; i < n; ++i) {
+            auto [s, d] = edges[i];
+            if (s != d)
+                edges.emplace_back(d, s);
+        }
+    }
+
+    Graph g;
+    g.numVertices_ = num_vertices;
+    g.colPtr_.assign(num_vertices + 1, 0);
+    g.rowPtr_.assign(num_vertices + 1, 0);
+
+    for (const auto &[src, dst] : edges) {
+        if (src >= num_vertices || dst >= num_vertices)
+            throw std::invalid_argument("edge endpoint out of range");
+        ++g.colPtr_[dst + 1];
+        ++g.rowPtr_[src + 1];
+    }
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        g.colPtr_[v + 1] += g.colPtr_[v];
+        g.rowPtr_[v + 1] += g.rowPtr_[v];
+    }
+
+    g.rowIdx_.resize(edges.size());
+    g.colIdx_.resize(edges.size());
+    std::vector<EdgeId> col_fill(g.colPtr_.begin(), g.colPtr_.end() - 1);
+    std::vector<EdgeId> row_fill(g.rowPtr_.begin(), g.rowPtr_.end() - 1);
+    for (const auto &[src, dst] : edges) {
+        g.rowIdx_[col_fill[dst]++] = src;
+        g.colIdx_[row_fill[src]++] = dst;
+    }
+
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        std::sort(g.rowIdx_.begin() + g.colPtr_[v],
+                  g.rowIdx_.begin() + g.colPtr_[v + 1]);
+        std::sort(g.colIdx_.begin() + g.rowPtr_[v],
+                  g.colIdx_.begin() + g.rowPtr_[v + 1]);
+    }
+    return g;
+}
+
+bool
+Graph::hasEdge(VertexId src, VertexId dst) const
+{
+    auto nbrs = inNeighbors(dst);
+    return std::binary_search(nbrs.begin(), nbrs.end(), src);
+}
+
+std::uint64_t
+Graph::storageBytes() const
+{
+    return (colPtr_.size() + rowPtr_.size()) * sizeof(EdgeId) +
+           (rowIdx_.size() + colIdx_.size()) * sizeof(VertexId);
+}
+
+EdgeSet
+EdgeSet::fromGraph(const Graph &graph, bool add_self_loops)
+{
+    return fromView(graph.csc(), add_self_loops);
+}
+
+EdgeSet
+EdgeSet::fromView(const CscView &v, bool add_self_loops)
+{
+    EdgeSet es;
+    es.numVertices_ = v.numVertices;
+    es.colPtr_.assign(v.numVertices + 1, 0);
+    es.rowIdx_.reserve(v.numEdges() +
+                       (add_self_loops ? v.numVertices : 0));
+
+    for (VertexId dst = 0; dst < v.numVertices; ++dst) {
+        auto srcs = v.sources(dst);
+        bool self_seen = false;
+        for (VertexId src : srcs) {
+            if (add_self_loops && !self_seen && src >= dst) {
+                if (src != dst)
+                    es.rowIdx_.push_back(dst);
+                self_seen = true;
+            }
+            if (src == dst)
+                self_seen = true;
+            es.rowIdx_.push_back(src);
+        }
+        if (add_self_loops && !self_seen)
+            es.rowIdx_.push_back(dst);
+        es.colPtr_[dst + 1] = es.rowIdx_.size();
+    }
+    return es;
+}
+
+EdgeSet
+EdgeSet::fromRaw(VertexId num_vertices, std::vector<EdgeId> col_ptr,
+                 std::vector<VertexId> row_idx)
+{
+    assert(col_ptr.size() == static_cast<std::size_t>(num_vertices) + 1);
+    assert(col_ptr.back() == row_idx.size());
+    EdgeSet es;
+    es.numVertices_ = num_vertices;
+    es.colPtr_ = std::move(col_ptr);
+    es.rowIdx_ = std::move(row_idx);
+    return es;
+}
+
+EdgeSet
+EdgeSet::fromColumns(VertexId num_vertices,
+                     const std::vector<std::vector<VertexId>> &cols)
+{
+    assert(cols.size() == num_vertices);
+    EdgeSet es;
+    es.numVertices_ = num_vertices;
+    es.colPtr_.assign(num_vertices + 1, 0);
+    for (VertexId v = 0; v < num_vertices; ++v) {
+        assert(std::is_sorted(cols[v].begin(), cols[v].end()));
+        es.rowIdx_.insert(es.rowIdx_.end(), cols[v].begin(), cols[v].end());
+        es.colPtr_[v + 1] = es.rowIdx_.size();
+    }
+    return es;
+}
+
+} // namespace hygcn

@@ -1,0 +1,77 @@
+#include "graph/graph_stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace hygcn {
+
+DegreeStats
+computeDegreeStats(const Graph &graph)
+{
+    DegreeStats stats;
+    const VertexId n = graph.numVertices();
+    if (n == 0)
+        return stats;
+
+    std::vector<double> degrees(n);
+    double sum = 0.0;
+    for (VertexId v = 0; v < n; ++v) {
+        degrees[v] = static_cast<double>(graph.inDegree(v));
+        sum += degrees[v];
+    }
+    stats.mean = sum / n;
+    stats.maxDegree = *std::max_element(degrees.begin(), degrees.end());
+
+    double var = 0.0;
+    for (double d : degrees)
+        var += (d - stats.mean) * (d - stats.mean);
+    var /= n;
+    stats.cv = stats.mean > 0 ? std::sqrt(var) / stats.mean : 0.0;
+
+    std::sort(degrees.begin(), degrees.end());
+    // Gini: 2*sum(i*d_i)/(n*sum(d)) - (n+1)/n, with 1-based ranks.
+    double weighted = 0.0;
+    for (VertexId i = 0; i < n; ++i)
+        weighted += (i + 1.0) * degrees[i];
+    if (sum > 0) {
+        stats.gini = 2.0 * weighted / (n * sum) -
+                     (static_cast<double>(n) + 1.0) / n;
+    }
+
+    const VertexId top = std::max<VertexId>(1, n / 100);
+    double top_sum = 0.0;
+    for (VertexId i = n - top; i < n; ++i)
+        top_sum += degrees[i];
+    stats.top1PercentShare = sum > 0 ? top_sum / sum : 0.0;
+    return stats;
+}
+
+std::uint64_t
+datasetStorageBytes(const Graph &graph, int feature_len)
+{
+    const std::uint64_t adjacency =
+        (graph.numVertices() + 1) * sizeof(EdgeId) +
+        graph.numEdges() * sizeof(VertexId);
+    const std::uint64_t features =
+        static_cast<std::uint64_t>(graph.numVertices()) * feature_len *
+        kElemBytes;
+    return adjacency + features;
+}
+
+std::vector<std::uint64_t>
+degreeHistogramLog2(const Graph &graph)
+{
+    std::vector<std::uint64_t> histogram;
+    for (VertexId v = 0; v < graph.numVertices(); ++v) {
+        const EdgeId deg = graph.inDegree(v);
+        std::size_t bucket = 0;
+        if (deg > 0)
+            bucket = 1 + static_cast<std::size_t>(std::log2(deg));
+        if (histogram.size() <= bucket)
+            histogram.resize(bucket + 1, 0);
+        ++histogram[bucket];
+    }
+    return histogram;
+}
+
+} // namespace hygcn

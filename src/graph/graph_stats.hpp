@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Workload statistics over graphs: degree distribution summaries used
+ * to verify that the synthetic Table 4 stand-ins reproduce the degree
+ * *shape* of the originals (flat citation graphs vs heavy-tailed
+ * social graphs), and storage accounting for the Table 4 "Storage"
+ * column.
+ */
+
+#ifndef HYGCN_GRAPH_GRAPH_STATS_HPP
+#define HYGCN_GRAPH_GRAPH_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/dataset.hpp"
+#include "graph/graph.hpp"
+
+namespace hygcn {
+
+/** Degree-distribution summary of a graph. */
+struct DegreeStats
+{
+    double mean = 0.0;
+    double maxDegree = 0.0;
+    /** Coefficient of variation (stddev / mean); ~heavy-tailedness. */
+    double cv = 0.0;
+    /** Gini coefficient of the degree distribution in [0, 1). */
+    double gini = 0.0;
+    /** Fraction of edges incident to the top 1% highest-degree. */
+    double top1PercentShare = 0.0;
+};
+
+/** Compute in-degree statistics of @p graph. */
+DegreeStats computeDegreeStats(const Graph &graph);
+
+/**
+ * Table 4 "Storage" estimate in bytes: adjacency (CSC) plus the
+ * feature matrix at @p feature_len 32-bit elements per vertex.
+ */
+std::uint64_t datasetStorageBytes(const Graph &graph, int feature_len);
+
+/** Per-vertex in-degree histogram with log2 buckets (0,1,2-3,4-7,..). */
+std::vector<std::uint64_t> degreeHistogramLog2(const Graph &graph);
+
+} // namespace hygcn
+
+#endif // HYGCN_GRAPH_GRAPH_STATS_HPP

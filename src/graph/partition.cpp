@@ -1,0 +1,34 @@
+#include "graph/partition.hpp"
+
+#include <algorithm>
+
+namespace hygcn {
+
+PartitionDims
+computePartitionDims(const PartitionConfig &config)
+{
+    const std::uint64_t agg_usable =
+        config.pingPongAgg ? config.aggBufBytes / 2 : config.aggBufBytes;
+    const std::uint64_t input_usable = config.doubleBufLoads
+        ? config.inputBufBytes / 2 : config.inputBufBytes;
+    const std::uint64_t edge_usable = config.doubleBufLoads
+        ? config.edgeBufBytes / 2 : config.edgeBufBytes;
+
+    const std::uint64_t agg_vec_bytes =
+        static_cast<std::uint64_t>(config.aggFeatureLen) * kElemBytes;
+    const std::uint64_t src_vec_bytes =
+        static_cast<std::uint64_t>(config.srcFeatureLen) * kElemBytes;
+
+    PartitionDims dims;
+    dims.intervalSize = static_cast<VertexId>(
+        std::max<std::uint64_t>(1, agg_usable / std::max<std::uint64_t>(
+                                           1, agg_vec_bytes)));
+    dims.windowHeight = static_cast<VertexId>(
+        std::max<std::uint64_t>(1, input_usable / std::max<std::uint64_t>(
+                                           1, src_vec_bytes)));
+    dims.maxEdgesPerWindow = std::max<EdgeId>(
+        1, edge_usable / std::max<std::uint64_t>(1, config.bytesPerEdge));
+    return dims;
+}
+
+} // namespace hygcn

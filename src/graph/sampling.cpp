@@ -1,0 +1,95 @@
+#include "graph/sampling.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+#include <vector>
+
+#include "sim/rng.hpp"
+
+namespace hygcn {
+
+namespace {
+
+/**
+ * Shared implementation: @p keep_of(deg) returns how many neighbors
+ * of a degree-deg vertex survive. Selection is a partial
+ * Fisher-Yates over the column, then re-sorted.
+ */
+EdgeSet
+sampleColumns(const CscView &view,
+              const std::function<EdgeId(EdgeId)> &keep_of,
+              std::uint64_t seed)
+{
+    std::vector<EdgeId> col_ptr(view.numVertices + 1, 0);
+    std::vector<VertexId> row_idx;
+
+    Rng rng(seed);
+    std::vector<VertexId> scratch;
+    for (VertexId dst = 0; dst < view.numVertices; ++dst) {
+        auto srcs = view.sources(dst);
+        const EdgeId deg = srcs.size();
+        const EdgeId keep = std::min<EdgeId>(deg, keep_of(deg));
+        if (keep == deg) {
+            row_idx.insert(row_idx.end(), srcs.begin(), srcs.end());
+        } else {
+            scratch.assign(srcs.begin(), srcs.end());
+            for (EdgeId i = 0; i < keep; ++i) {
+                const EdgeId j = i + rng.nextBounded(scratch.size() - i);
+                std::swap(scratch[i], scratch[j]);
+            }
+            std::sort(scratch.begin(), scratch.begin() + keep);
+            row_idx.insert(row_idx.end(), scratch.begin(),
+                           scratch.begin() + keep);
+        }
+        col_ptr[dst + 1] = row_idx.size();
+    }
+    return EdgeSet::fromRaw(view.numVertices, std::move(col_ptr),
+                            std::move(row_idx));
+}
+
+} // namespace
+
+EdgeSet
+NeighborSampler::sampleMaxNeighbors(const CscView &view,
+                                    std::uint32_t max_neighbors,
+                                    std::uint64_t seed)
+{
+    if (max_neighbors == 0)
+        throw std::invalid_argument("max_neighbors must be positive");
+    return sampleColumns(
+        view, [max_neighbors](EdgeId) { return EdgeId(max_neighbors); },
+        seed);
+}
+
+EdgeSet
+NeighborSampler::sampleByFactor(const CscView &view, std::uint32_t factor,
+                                std::uint64_t seed)
+{
+    if (factor == 0)
+        throw std::invalid_argument("sampling factor must be positive");
+    return sampleColumns(
+        view,
+        [factor](EdgeId deg) { return (deg + factor - 1) / factor; },
+        seed);
+}
+
+EdgeSet
+NeighborSampler::sampleByIndexInterval(const CscView &view,
+                                       std::uint32_t factor)
+{
+    if (factor == 0)
+        throw std::invalid_argument("sampling factor must be positive");
+    std::vector<EdgeId> col_ptr(view.numVertices + 1, 0);
+    std::vector<VertexId> row_idx;
+    for (VertexId dst = 0; dst < view.numVertices; ++dst) {
+        auto srcs = view.sources(dst);
+        for (EdgeId i = 0; i < srcs.size(); i += factor)
+            row_idx.push_back(srcs[i]);
+        col_ptr[dst + 1] = row_idx.size();
+    }
+    return EdgeSet::fromRaw(view.numVertices, std::move(col_ptr),
+                            std::move(row_idx));
+}
+
+} // namespace hygcn

@@ -1,0 +1,58 @@
+#include "mem/coordinator.hpp"
+
+#include <algorithm>
+#include <array>
+
+namespace hygcn {
+
+MemoryCoordinator::MemoryCoordinator(HbmModel &hbm,
+                                     const CoordinatorConfig &config)
+    : hbm_(hbm), config_(config)
+{
+}
+
+Cycle
+MemoryCoordinator::issueBatch(std::vector<MemRequest> requests, Cycle now)
+{
+    if (requests.empty())
+        return now;
+    stats_.add("coord.batches");
+    stats_.add("coord.requests", requests.size());
+
+    if (config_.priorityReorder) {
+        std::stable_sort(requests.begin(), requests.end(),
+                         [](const MemRequest &a, const MemRequest &b) {
+                             return requestPriority(a.type) <
+                                    requestPriority(b.type);
+                         });
+        return hbm_.serviceBatch(requests, now);
+    }
+
+    // Uncoordinated: the memory controller sees the four buffer
+    // streams interleaved chunk-by-chunk, breaking address
+    // continuity and thus row-buffer locality.
+    std::array<std::vector<MemRequest>, 5> streams;
+    for (const MemRequest &req : requests)
+        streams[static_cast<std::size_t>(req.type)].push_back(req);
+
+    std::vector<MemRequest> interleaved;
+    interleaved.reserve(requests.size());
+    std::array<std::size_t, 5> pos{};
+    bool progressed = true;
+    const std::size_t chunk = std::max<std::uint32_t>(
+        1, config_.interleaveChunk);
+    while (progressed) {
+        progressed = false;
+        for (std::size_t s = 0; s < streams.size(); ++s) {
+            const auto &stream = streams[s];
+            for (std::size_t i = 0;
+                 i < chunk && pos[s] < stream.size(); ++i) {
+                interleaved.push_back(stream[pos[s]++]);
+                progressed = true;
+            }
+        }
+    }
+    return hbm_.serviceBatch(interleaved, now);
+}
+
+} // namespace hygcn

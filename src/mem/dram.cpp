@@ -1,0 +1,99 @@
+#include "mem/dram.hpp"
+
+#include <algorithm>
+
+namespace hygcn {
+
+HbmModel::HbmModel(const HbmConfig &config) : config_(config)
+{
+    channels_.resize(config_.channels);
+    for (Channel &ch : channels_)
+        ch.banks.resize(config_.banksPerChannel);
+}
+
+void
+HbmModel::mapAddr(Addr addr, std::uint32_t &channel, std::uint32_t &bank,
+                  std::int64_t &row) const
+{
+    const Addr line = addr / kLineBytes;
+    const std::uint64_t lines_per_row = config_.rowBytes / kLineBytes;
+    if (config_.lowBitChannelInterleave) {
+        channel = static_cast<std::uint32_t>(line % config_.channels);
+        const Addr in_channel = line / config_.channels;
+        bank = static_cast<std::uint32_t>(
+            (in_channel / lines_per_row) % config_.banksPerChannel);
+        row = static_cast<std::int64_t>(
+            in_channel / (lines_per_row * config_.banksPerChannel));
+    } else {
+        // Channel from high bits: each 4 GiB region pins to a channel.
+        channel = static_cast<std::uint32_t>(
+            (addr >> 32) % config_.channels);
+        bank = static_cast<std::uint32_t>(
+            (line / lines_per_row) % config_.banksPerChannel);
+        row = static_cast<std::int64_t>(
+            line / (lines_per_row * config_.banksPerChannel));
+    }
+}
+
+Cycle
+HbmModel::serviceOne(const MemRequest &request, Cycle start)
+{
+    std::uint32_t ch_idx = 0, bank_idx = 0;
+    std::int64_t row = 0;
+    mapAddr(request.addr, ch_idx, bank_idx, row);
+    Channel &ch = channels_[ch_idx];
+    Bank &bank = ch.banks[bank_idx];
+
+    // bank.ready is the earliest cycle the bank accepts its next
+    // column command; CAS latency is pipelined (it delays the data,
+    // not the next command), so back-to-back row hits stream at the
+    // burst rate while a row miss pays precharge + activate.
+    Cycle cas_issue = std::max(start, bank.ready);
+    if (bank.openRow == row) {
+        stats_.add("dram.row_hits");
+    } else {
+        cas_issue += config_.tRP + config_.tRCD;
+        stats_.add("dram.row_misses");
+        bank.openRow = row;
+    }
+    const Cycle burst =
+        (request.bytes + config_.bytesPerCycle - 1) / config_.bytesPerCycle;
+    const Cycle data_start =
+        std::max(cas_issue + config_.tCAS, ch.busFree);
+    const Cycle end = data_start + burst;
+
+    ch.busFree = end;
+    // Column-to-column gap equals the burst length (tCCD).
+    bank.ready = cas_issue + burst;
+
+    stats_.add("dram.requests");
+    stats_.add("dram.busy_cycles", burst);
+    if (request.isWrite)
+        stats_.add("dram.write_bytes", request.bytes);
+    else
+        stats_.add("dram.read_bytes", request.bytes);
+    return end;
+}
+
+Cycle
+HbmModel::serviceBatch(std::span<const MemRequest> requests, Cycle start)
+{
+    Cycle finish = start;
+    for (const MemRequest &req : requests)
+        finish = std::max(finish, serviceOne(req, start));
+    return finish;
+}
+
+void
+HbmModel::resetTiming()
+{
+    for (Channel &ch : channels_) {
+        ch.busFree = 0;
+        for (Bank &bank : ch.banks) {
+            bank.ready = 0;
+            bank.openRow = -1;
+        }
+    }
+}
+
+} // namespace hygcn

@@ -1,0 +1,3 @@
+// DoubleBufferSchedule is header-only; this translation unit anchors
+// the module in the build.
+#include "mem/prefetcher.hpp"

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Double-buffer (ping-pong) overlap scheduler. The paper's prefetcher
+ * fills the shadow half of the Edge/Input Buffers for shard w+1 while
+ * shard w computes; this helper realizes that overlap as a timing
+ * recurrence over (load, compute) stage pairs. It is also reused for
+ * the inter-engine ping-pong Aggregation Buffer.
+ */
+
+#ifndef HYGCN_MEM_PREFETCHER_HPP
+#define HYGCN_MEM_PREFETCHER_HPP
+
+#include <functional>
+
+#include "sim/types.hpp"
+
+namespace hygcn {
+
+/**
+ * Tracks the pipeline state of a two-slot (double) buffer:
+ *
+ *   loadFinish[w]   = issue(max(prevLoadFinish, computeFinish[w-2]))
+ *   computeStart[w] = max(loadFinish[w], computeFinish[w-1])
+ *
+ * A stage's load may begin once the previous load finished (one load
+ * port) and its slot was freed by the compute two stages back.
+ */
+class DoubleBufferSchedule
+{
+  public:
+    explicit DoubleBufferSchedule(Cycle start)
+        : prevLoadFinish_(start), computePrev_(start), computePrev2_(start)
+    {}
+
+    /**
+     * Add one (load, compute) stage.
+     *
+     * @param issue_load Called with the earliest cycle the load may
+     *        start; returns the load completion cycle (e.g. via the
+     *        memory coordinator). May be null for a pure-compute
+     *        stage.
+     * @param compute_cycles Compute duration after the data arrives.
+     * @return The stage's compute finish cycle.
+     */
+    Cycle
+    stage(const std::function<Cycle(Cycle)> &issue_load,
+          Cycle compute_cycles)
+    {
+        const Cycle slot_free = computePrev2_;
+        const Cycle load_start = std::max(prevLoadFinish_, slot_free);
+        const Cycle load_finish =
+            issue_load ? issue_load(load_start) : load_start;
+        prevLoadFinish_ = load_finish;
+
+        const Cycle compute_start = std::max(load_finish, computePrev_);
+        const Cycle compute_finish = compute_start + compute_cycles;
+        computePrev2_ = computePrev_;
+        computePrev_ = compute_finish;
+        return compute_finish;
+    }
+
+    /** Finish cycle of the last compute stage added. */
+    Cycle finish() const { return computePrev_; }
+
+  private:
+    Cycle prevLoadFinish_;
+    Cycle computePrev_;
+    Cycle computePrev2_;
+};
+
+} // namespace hygcn
+
+#endif // HYGCN_MEM_PREFETCHER_HPP

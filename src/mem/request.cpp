@@ -1,0 +1,20 @@
+#include "mem/request.hpp"
+
+namespace hygcn {
+
+void
+emitLines(std::vector<MemRequest> &out, Addr base, std::uint64_t offset,
+          std::uint64_t bytes, RequestType type, bool is_write)
+{
+    if (bytes == 0)
+        return;
+    const Addr first = (base + offset) / kLineBytes;
+    const Addr last = (base + offset + bytes - 1) / kLineBytes;
+    out.reserve(out.size() + (last - first + 1));
+    for (Addr line = first; line <= last; ++line)
+        out.push_back({line * kLineBytes, static_cast<std::uint32_t>(
+                                              kLineBytes),
+                       is_write, type});
+}
+
+} // namespace hygcn

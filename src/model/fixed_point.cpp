@@ -1,0 +1,44 @@
+#include "model/fixed_point.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace hygcn {
+
+std::int32_t
+toFixed(float value)
+{
+    const double scaled =
+        std::round(static_cast<double>(value) * (1 << kFixedFracBits));
+    const double lo = std::numeric_limits<std::int32_t>::min();
+    const double hi = std::numeric_limits<std::int32_t>::max();
+    return static_cast<std::int32_t>(std::clamp(scaled, lo, hi));
+}
+
+float
+fromFixed(std::int32_t value)
+{
+    return static_cast<float>(value) /
+           static_cast<float>(1 << kFixedFracBits);
+}
+
+float
+quantize(float value)
+{
+    return fromFixed(toFixed(value));
+}
+
+float
+quantizeInPlace(Matrix &m)
+{
+    float max_change = 0.0f;
+    for (float &v : m.data()) {
+        const float q = quantize(v);
+        max_change = std::max(max_change, std::fabs(q - v));
+        v = q;
+    }
+    return max_change;
+}
+
+} // namespace hygcn

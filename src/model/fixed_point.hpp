@@ -1,0 +1,35 @@
+/**
+ * @file
+ * 32-bit fixed-point helpers (Q16.16). The paper's datapath uses
+ * 32-bit fixed point "enough to maintain the accuracy of GCN
+ * inference"; these helpers let the tests quantify that claim by
+ * round-tripping the float reference through the hardware precision.
+ */
+
+#ifndef HYGCN_MODEL_FIXED_POINT_HPP
+#define HYGCN_MODEL_FIXED_POINT_HPP
+
+#include <cstdint>
+
+#include "model/matrix.hpp"
+
+namespace hygcn {
+
+/** Fractional bits of the hardware datapath format. */
+inline constexpr int kFixedFracBits = 16;
+
+/** Convert float to saturating Q16.16. */
+std::int32_t toFixed(float value);
+
+/** Convert Q16.16 back to float. */
+float fromFixed(std::int32_t value);
+
+/** Round-trip a float through Q16.16 (quantize to hardware grid). */
+float quantize(float value);
+
+/** Quantize every element of @p m in place; returns max abs change. */
+float quantizeInPlace(Matrix &m);
+
+} // namespace hygcn
+
+#endif // HYGCN_MODEL_FIXED_POINT_HPP

@@ -1,0 +1,30 @@
+#include "model/layer.hpp"
+
+#include <cmath>
+
+#include "graph/sampling.hpp"
+
+namespace hygcn {
+
+EdgeSet
+buildLayerEdges(const Graph &graph, const LayerConfig &layer,
+                std::uint64_t sample_seed)
+{
+    if (layer.sampleNeighbors > 0) {
+        EdgeSet sampled = NeighborSampler::sampleMaxNeighbors(
+            graph.csc(), layer.sampleNeighbors, sample_seed);
+        return EdgeSet::fromView(sampled.view(), layer.selfLoops);
+    }
+    return EdgeSet::fromGraph(graph, layer.selfLoops);
+}
+
+std::vector<float>
+invSqrtDegreesPlusSelf(const Graph &graph)
+{
+    std::vector<float> inv(graph.numVertices());
+    for (VertexId v = 0; v < graph.numVertices(); ++v)
+        inv[v] = 1.0f / std::sqrt(static_cast<float>(graph.inDegree(v) + 1));
+    return inv;
+}
+
+} // namespace hygcn

@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Per-layer GCN configuration: the Aggregate operator, the per-edge
+ * coefficient scheme (GCN's symmetric normalization, GIN's 1+epsilon
+ * self weight), and the Combine MLP shape (Table 5 of the paper).
+ */
+
+#ifndef HYGCN_MODEL_LAYER_HPP
+#define HYGCN_MODEL_LAYER_HPP
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "sim/types.hpp"
+
+namespace hygcn {
+
+/** The Aggregate reduction operator. */
+enum class AggOp
+{
+    Add,  ///< GCN / GIN
+    Max,  ///< GraphSage (Table 5 configuration)
+    Min,  ///< DiffPool's two internal GCNs (Table 5)
+    Mean, ///< GraphSage per Eq. (5); provided for completeness
+};
+
+/** Per-edge scaling applied during aggregation. */
+enum class EdgeCoefKind
+{
+    One,     ///< unscaled sum/max/min
+    GcnNorm, ///< 1 / sqrt(D_dst * D_src), degrees include self loop
+    GinEps,  ///< self edge weighted (1 + epsilon), neighbors 1
+};
+
+/** Activation applied after the Combine MLP. */
+enum class Activation
+{
+    None,
+    ReLU,
+    SoftmaxRows, ///< DiffPool assignment matrix
+};
+
+/**
+ * Evaluates the per-edge coefficient for a layer. Holds a borrowed
+ * span of precomputed 1/sqrt(deg) values for GcnNorm.
+ */
+class EdgeCoefFn
+{
+  public:
+    EdgeCoefFn() = default;
+
+    /**
+     * @param kind Coefficient scheme.
+     * @param inv_sqrt_deg Per-vertex 1/sqrt(deg+1); may be empty for
+     *        schemes that do not need it. Borrowed, must outlive this.
+     * @param epsilon GIN epsilon.
+     */
+    EdgeCoefFn(EdgeCoefKind kind, std::span<const float> inv_sqrt_deg,
+               float epsilon)
+        : kind_(kind), invSqrtDeg_(inv_sqrt_deg), epsilon_(epsilon)
+    {}
+
+    /** Coefficient of edge (src -> dst). */
+    float
+    operator()(VertexId src, VertexId dst) const
+    {
+        switch (kind_) {
+          case EdgeCoefKind::One:
+            return 1.0f;
+          case EdgeCoefKind::GcnNorm:
+            return invSqrtDeg_[src] * invSqrtDeg_[dst];
+          case EdgeCoefKind::GinEps:
+            return src == dst ? 1.0f + epsilon_ : 1.0f;
+        }
+        return 1.0f;
+    }
+
+    EdgeCoefKind kind() const { return kind_; }
+
+  private:
+    EdgeCoefKind kind_ = EdgeCoefKind::One;
+    std::span<const float> invSqrtDeg_;
+    float epsilon_ = 0.0f;
+};
+
+/** Configuration of one graph-convolution layer. */
+struct LayerConfig
+{
+    AggOp aggOp = AggOp::Add;
+    EdgeCoefKind coef = EdgeCoefKind::One;
+    /** GIN epsilon (used only with EdgeCoefKind::GinEps). */
+    float epsilon = 0.1f;
+    /** Feature length entering the layer. */
+    int inFeatures = 0;
+    /** Combine MLP widths; a 2-layer MLP is {128, 128} (GIN). */
+    std::vector<int> mlpDims;
+    /** Insert a self loop per vertex before aggregation. */
+    bool selfLoops = true;
+    /** Uniformly sample up to this many neighbors (0 = all). */
+    std::uint32_t sampleNeighbors = 0;
+    /** Activation after each MLP stage. */
+    Activation activation = Activation::ReLU;
+
+    /** Feature length leaving the layer. */
+    int outFeatures() const
+    { return mlpDims.empty() ? inFeatures : mlpDims.back(); }
+};
+
+/**
+ * Materialize the layer's destination-major edge set: sampling (if
+ * configured) then self-loop insertion. Both the reference executor
+ * and the accelerator run on this same edge set, making functional
+ * comparisons bit-exact.
+ */
+EdgeSet buildLayerEdges(const Graph &graph, const LayerConfig &layer,
+                        std::uint64_t sample_seed);
+
+/** Per-vertex 1/sqrt(inDegree + 1) for GCN normalization. */
+std::vector<float> invSqrtDegreesPlusSelf(const Graph &graph);
+
+/**
+ * Per-layer sampling seed derivation. Shared by the reference
+ * executor and the accelerator so both sample identical neighbor
+ * subsets.
+ */
+inline std::uint64_t
+layerSampleSeed(std::uint64_t base, std::size_t layer_index)
+{
+    return base * 0x9e3779b97f4a7c15ull + layer_index + 1;
+}
+
+} // namespace hygcn
+
+#endif // HYGCN_MODEL_LAYER_HPP

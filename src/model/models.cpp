@@ -1,0 +1,144 @@
+#include "model/models.hpp"
+
+#include <stdexcept>
+
+#include "sim/rng.hpp"
+
+namespace hygcn {
+
+std::vector<ModelId>
+allModels()
+{
+    return {ModelId::GCN, ModelId::GSC, ModelId::GIN, ModelId::DFP};
+}
+
+std::string
+modelAbbrev(ModelId id)
+{
+    switch (id) {
+      case ModelId::GCN: return "GCN";
+      case ModelId::GSC: return "GSC";
+      case ModelId::GIN: return "GIN";
+      case ModelId::DFP: return "DFP";
+    }
+    throw std::invalid_argument("unknown model id");
+}
+
+ModelConfig
+makeModel(ModelId id, int feature_len, int num_layers)
+{
+    if (num_layers < 1)
+        throw std::invalid_argument("num_layers must be positive");
+    constexpr int kHidden = 128;
+    ModelConfig m;
+    m.id = id;
+    m.name = modelAbbrev(id);
+
+    auto layer = [&](AggOp op, EdgeCoefKind coef, int in,
+                     std::vector<int> dims) {
+        LayerConfig l;
+        l.aggOp = op;
+        l.coef = coef;
+        l.inFeatures = in;
+        l.mlpDims = std::move(dims);
+        return l;
+    };
+
+    switch (id) {
+      case ModelId::GCN:
+        // Add & |a|-128, k iterations, symmetric normalization.
+        for (int li = 0; li < num_layers; ++li) {
+            m.layers.push_back(layer(AggOp::Add, EdgeCoefKind::GcnNorm,
+                                     li == 0 ? feature_len : kHidden,
+                                     {kHidden}));
+        }
+        m.cpuCombineFirst = true;
+        break;
+      case ModelId::GSC:
+        // Max & |a|-128 with 25-neighbor uniform sampling.
+        for (int li = 0; li < num_layers; ++li) {
+            m.layers.push_back(layer(AggOp::Max, EdgeCoefKind::One,
+                                     li == 0 ? feature_len : kHidden,
+                                     {kHidden}));
+        }
+        for (auto &l : m.layers)
+            l.sampleNeighbors = 25;
+        m.cpuCombineFirst = true;
+        break;
+      case ModelId::GIN:
+        // Add & |a|-128-128, aggregation first, (1+eps) self weight.
+        for (int li = 0; li < num_layers; ++li) {
+            m.layers.push_back(layer(AggOp::Add, EdgeCoefKind::GinEps,
+                                     li == 0 ? feature_len : kHidden,
+                                     {kHidden, kHidden}));
+        }
+        m.cpuCombineFirst = false;
+        m.readoutConcat = true;
+        break;
+      case ModelId::DFP: {
+        // Two internal GCNs over the same input: pool (softmax
+        // assignment, out = clusters) and embed (out = 128), Min agg.
+        LayerConfig pool = layer(AggOp::Min, EdgeCoefKind::One,
+                                 feature_len, {kHidden});
+        pool.activation = Activation::SoftmaxRows;
+        LayerConfig embed = layer(AggOp::Min, EdgeCoefKind::One,
+                                  feature_len, {kHidden});
+        m.layers.push_back(pool);
+        m.layers.push_back(embed);
+        m.isDiffPool = true;
+        m.clusters = kHidden;
+        m.cpuCombineFirst = true;
+        break;
+      }
+    }
+    return m;
+}
+
+std::uint64_t
+ModelParams::layerParamBytes(std::size_t layer) const
+{
+    std::uint64_t bytes = 0;
+    for (const Matrix &w : weights[layer])
+        bytes += w.rows() * w.cols() * kElemBytes;
+    for (const auto &b : biases[layer])
+        bytes += b.size() * kElemBytes;
+    return bytes;
+}
+
+ModelParams
+makeParams(const ModelConfig &model, std::uint64_t seed)
+{
+    ModelParams params;
+    Rng rng(seed);
+    for (const LayerConfig &layer : model.layers) {
+        std::vector<Matrix> ws;
+        std::vector<std::vector<float>> bs;
+        int in = layer.inFeatures;
+        for (int out : layer.mlpDims) {
+            Matrix w(in, out);
+            // Xavier-ish scale keeps activations in fixed-point range.
+            const float bound = 1.0f / std::max(1, in / 8);
+            w.fillRandom(rng, -bound, bound);
+            ws.push_back(std::move(w));
+            std::vector<float> b(out);
+            for (float &v : b)
+                v = rng.nextFloat(-0.05f, 0.05f);
+            bs.push_back(std::move(b));
+            in = out;
+        }
+        params.weights.push_back(std::move(ws));
+        params.biases.push_back(std::move(bs));
+    }
+    return params;
+}
+
+Matrix
+makeFeatures(VertexId num_vertices, int feature_len, std::uint64_t seed)
+{
+    Matrix x(num_vertices, feature_len);
+    Rng rng(seed);
+    x.fillRandom(rng, 0.0f, 1.0f);
+    return x;
+}
+
+} // namespace hygcn

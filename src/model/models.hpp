@@ -1,0 +1,91 @@
+/**
+ * @file
+ * The four evaluated GCN models (paper Table 5): GCN, GraphSage
+ * (GSC), GINConv (GIN), and DiffPool (DFP), plus deterministic
+ * parameter synthesis. Hidden width follows the paper: every Combine
+ * MLP maps |a_v| to 128 (GIN: |a_v|-128-128).
+ */
+
+#ifndef HYGCN_MODEL_MODELS_HPP
+#define HYGCN_MODEL_MODELS_HPP
+
+#include <string>
+#include <vector>
+
+#include "model/layer.hpp"
+#include "model/matrix.hpp"
+
+namespace hygcn {
+
+/** The evaluated models, in the paper's figure order. */
+enum class ModelId
+{
+    GCN,
+    GSC,
+    GIN,
+    DFP,
+};
+
+/** All model ids in figure order. */
+std::vector<ModelId> allModels();
+
+/** Figure abbreviation ("GCN", "GSC", "GIN", "DFP"). */
+std::string modelAbbrev(ModelId id);
+
+/** Full configuration of one model instance. */
+struct ModelConfig
+{
+    ModelId id = ModelId::GCN;
+    std::string name;
+    /**
+     * Convolution layers. For DFP these are the two internal GCNs
+     * (pool, embed) applied to the *same* input, followed by the
+     * pooling matrix products.
+     */
+    std::vector<LayerConfig> layers;
+    /**
+     * True if the CPU/GPU framework executes Combination before
+     * Aggregation for this model (GCN/GSC/DFP shrink the feature
+     * vector first; GIN aggregates first — paper section 5.2).
+     */
+    bool cpuCombineFirst = true;
+    /** DiffPool block: layers are pool+embed over the same input. */
+    bool isDiffPool = false;
+    /** GIN: Readout concatenates per-iteration graph sums (Eq. 7). */
+    bool readoutConcat = false;
+    /** DiffPool cluster count (output vertices per component). */
+    int clusters = 128;
+};
+
+/**
+ * Build the Table 5 configuration of @p id for a dataset whose input
+ * feature length is @p feature_len.
+ *
+ * @param num_layers Convolution iterations k (default 2, the paper's
+ *        evaluated depth). Ignored for DiffPool, whose block is
+ *        always the pool+embed GCN pair.
+ */
+ModelConfig makeModel(ModelId id, int feature_len, int num_layers = 2);
+
+/** Deterministically generated weights/biases for a model. */
+struct ModelParams
+{
+    /** weights[layer][mlp_stage]: (in x out) matrices. */
+    std::vector<std::vector<Matrix>> weights;
+    /** biases[layer][mlp_stage][out]. */
+    std::vector<std::vector<std::vector<float>>> biases;
+
+    /** Total parameter bytes of layer @p layer (all MLP stages). */
+    std::uint64_t layerParamBytes(std::size_t layer) const;
+};
+
+/** Synthesize parameters for @p model with deterministic @p seed. */
+ModelParams makeParams(const ModelConfig &model, std::uint64_t seed);
+
+/** Deterministic input feature matrix (numVertices x featureLen). */
+Matrix makeFeatures(VertexId num_vertices, int feature_len,
+                    std::uint64_t seed);
+
+} // namespace hygcn
+
+#endif // HYGCN_MODEL_MODELS_HPP

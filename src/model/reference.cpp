@@ -1,0 +1,231 @@
+#include "model/reference.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+
+namespace hygcn {
+
+void
+aggregateWindow(const CscView &view, AggOp op, const EdgeCoefFn &coef,
+                const Matrix &x, VertexId dst_begin, VertexId dst_end,
+                VertexId src_begin, VertexId src_end, Matrix &acc,
+                std::vector<std::uint32_t> &touch)
+{
+    assert(acc.rows() >= dst_end - dst_begin);
+    assert(touch.size() >= dst_end - dst_begin);
+    const std::size_t feats = x.cols();
+    assert(acc.cols() == feats);
+
+    for (VertexId dst = dst_begin; dst < dst_end; ++dst) {
+        auto srcs = view.sources(dst);
+        auto lo = std::lower_bound(srcs.begin(), srcs.end(), src_begin);
+        auto hi = std::lower_bound(lo, srcs.end(), src_end);
+        auto out = acc.row(dst - dst_begin);
+        std::uint32_t &cnt = touch[dst - dst_begin];
+        for (auto it = lo; it != hi; ++it) {
+            const VertexId src = *it;
+            const auto feat = x.row(src);
+            const float c = coef(src, dst);
+            switch (op) {
+              case AggOp::Add:
+              case AggOp::Mean:
+                for (std::size_t f = 0; f < feats; ++f)
+                    out[f] += c * feat[f];
+                break;
+              case AggOp::Max:
+                if (cnt == 0) {
+                    for (std::size_t f = 0; f < feats; ++f)
+                        out[f] = feat[f];
+                } else {
+                    for (std::size_t f = 0; f < feats; ++f)
+                        out[f] = std::max(out[f], feat[f]);
+                }
+                break;
+              case AggOp::Min:
+                if (cnt == 0) {
+                    for (std::size_t f = 0; f < feats; ++f)
+                        out[f] = feat[f];
+                } else {
+                    for (std::size_t f = 0; f < feats; ++f)
+                        out[f] = std::min(out[f], feat[f]);
+                }
+                break;
+            }
+            ++cnt;
+        }
+    }
+}
+
+void
+finalizeAggregation(AggOp op, Matrix &acc,
+                    const std::vector<std::uint32_t> &touch)
+{
+    if (op != AggOp::Mean)
+        return;
+    for (std::size_t r = 0; r < acc.rows(); ++r) {
+        if (touch[r] == 0)
+            continue;
+        const float inv = 1.0f / static_cast<float>(touch[r]);
+        for (float &v : acc.row(r))
+            v *= inv;
+    }
+}
+
+Matrix
+aggregateFull(const CscView &view, AggOp op, const EdgeCoefFn &coef,
+              const Matrix &x)
+{
+    Matrix acc(view.numVertices, x.cols());
+    std::vector<std::uint32_t> touch(view.numVertices, 0);
+    aggregateWindow(view, op, coef, x, 0, view.numVertices, 0,
+                    view.numVertices, acc, touch);
+    finalizeAggregation(op, acc, touch);
+    return acc;
+}
+
+Matrix
+combineRows(const Matrix &acc, std::span<const Matrix> weights,
+            std::span<const std::vector<float>> biases,
+            Activation activation)
+{
+    assert(weights.size() == biases.size());
+    Matrix cur = acc;
+    for (std::size_t s = 0; s < weights.size(); ++s) {
+        const Matrix &w = weights[s];
+        const auto &b = biases[s];
+        if (cur.cols() != w.rows())
+            throw std::invalid_argument("combine shape mismatch");
+        Matrix next(cur.rows(), w.cols());
+        for (std::size_t r = 0; r < cur.rows(); ++r) {
+            const auto in = cur.row(r);
+            auto out = next.row(r);
+            for (std::size_t j = 0; j < w.cols(); ++j)
+                out[j] = b[j];
+            for (std::size_t k = 0; k < w.rows(); ++k) {
+                const float a = in[k];
+                if (a == 0.0f)
+                    continue;
+                const auto wrow = w.row(k);
+                for (std::size_t j = 0; j < w.cols(); ++j)
+                    out[j] += a * wrow[j];
+            }
+        }
+        if (activation == Activation::ReLU)
+            next.reluInPlace();
+        cur = std::move(next);
+    }
+    if (activation == Activation::SoftmaxRows)
+        cur.softmaxRowsInPlace();
+    return cur;
+}
+
+Matrix
+computeReadout(std::span<const Matrix> layer_outputs,
+               std::span<const VertexId> boundaries, bool concat)
+{
+    const std::size_t components = boundaries.size() - 1;
+    std::span<const Matrix> used =
+        concat ? layer_outputs : layer_outputs.last(1);
+    std::size_t total = 0;
+    for (const Matrix &m : used)
+        total += m.cols();
+
+    Matrix readout(components, total);
+    std::size_t col0 = 0;
+    for (const Matrix &m : used) {
+        for (std::size_t g = 0; g < components; ++g) {
+            auto out = readout.row(g);
+            for (VertexId v = boundaries[g]; v < boundaries[g + 1]; ++v) {
+                const auto row = m.row(v);
+                for (std::size_t f = 0; f < m.cols(); ++f)
+                    out[col0 + f] += row[f];
+            }
+        }
+        col0 += m.cols();
+    }
+    return readout;
+}
+
+ReferenceExecutor::ReferenceExecutor(const Graph &graph,
+                                     std::vector<VertexId> boundaries)
+    : graph_(graph), boundaries_(std::move(boundaries)),
+      invSqrtDeg_(invSqrtDegreesPlusSelf(graph))
+{
+    if (boundaries_.empty())
+        boundaries_ = {0, graph.numVertices()};
+}
+
+ReferenceResult
+ReferenceExecutor::run(const ModelConfig &model, const ModelParams &params,
+                       const Matrix &x0, std::uint64_t sample_seed,
+                       bool with_readout) const
+{
+    if (model.isDiffPool)
+        return runDiffPool(model, params, x0);
+
+    ReferenceResult result;
+    Matrix x = x0;
+    for (std::size_t li = 0; li < model.layers.size(); ++li) {
+        const LayerConfig &layer = model.layers[li];
+        const EdgeSet edges = buildLayerEdges(
+            graph_, layer, layerSampleSeed(sample_seed, li));
+        const EdgeCoefFn coef(layer.coef, invSqrtDeg_, layer.epsilon);
+        Matrix agg = aggregateFull(edges.view(), layer.aggOp, coef, x);
+        x = combineRows(agg, params.weights[li], params.biases[li],
+                        layer.activation);
+        result.layerOutputs.push_back(x);
+    }
+
+    if (with_readout) {
+        result.readout = computeReadout(result.layerOutputs, boundaries_,
+                                        model.readoutConcat);
+    }
+    return result;
+}
+
+ReferenceResult
+ReferenceExecutor::runDiffPool(const ModelConfig &model,
+                               const ModelParams &params,
+                               const Matrix &x0) const
+{
+    assert(model.layers.size() == 2);
+    ReferenceResult result;
+
+    // Pool GCN -> assignment C (softmax rows); embed GCN -> Z.
+    const EdgeSet edges = buildLayerEdges(graph_, model.layers[0], 0);
+    const EdgeCoefFn coef0(model.layers[0].coef, invSqrtDeg_,
+                           model.layers[0].epsilon);
+    Matrix agg_pool =
+        aggregateFull(edges.view(), model.layers[0].aggOp, coef0, x0);
+    Matrix c = combineRows(agg_pool, params.weights[0], params.biases[0],
+                           model.layers[0].activation);
+    result.layerOutputs.push_back(c);
+
+    const EdgeCoefFn coef1(model.layers[1].coef, invSqrtDeg_,
+                           model.layers[1].epsilon);
+    Matrix agg_embed =
+        aggregateFull(edges.view(), model.layers[1].aggOp, coef1, x0);
+    Matrix z = combineRows(agg_embed, params.weights[1], params.biases[1],
+                           model.layers[1].activation);
+    result.layerOutputs.push_back(z);
+
+    // AC: plain adjacency (no self loops) times C.
+    const EdgeSet adj = EdgeSet::fromGraph(graph_, false);
+    const EdgeCoefFn one(EdgeCoefKind::One, {}, 0.0f);
+    Matrix ac = aggregateFull(adj.view(), AggOp::Add, one, c);
+
+    // Per component: X' = C^T Z, A' = C^T (A C).
+    const std::size_t components = boundaries_.size() - 1;
+    for (std::size_t g = 0; g < components; ++g) {
+        const VertexId b = boundaries_[g], e = boundaries_[g + 1];
+        Matrix cg = c.rowSlice(b, e);
+        Matrix zg = z.rowSlice(b, e);
+        Matrix acg = ac.rowSlice(b, e);
+        result.pooledX.push_back(cg.matmulTransposedSelf(zg));
+        result.pooledA.push_back(cg.matmulTransposedSelf(acg));
+    }
+    return result;
+}
+
+} // namespace hygcn

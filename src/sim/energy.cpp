@@ -1,0 +1,44 @@
+#include "sim/energy.hpp"
+
+namespace hygcn {
+
+PicoJoule
+EnergyTable::edramPerByte(std::uint64_t bytes) const
+{
+    if (bytes <= 256 * 1024)
+        return edramSmallPerByte;
+    if (bytes <= 4ull * 1024 * 1024)
+        return edramMidPerByte;
+    return edramLargePerByte;
+}
+
+void
+EnergyLedger::charge(const std::string &component, PicoJoule pj)
+{
+    components_[component] += pj;
+}
+
+PicoJoule
+EnergyLedger::total() const
+{
+    PicoJoule sum = 0.0;
+    for (const auto &[name, pj] : components_)
+        sum += pj;
+    return sum;
+}
+
+PicoJoule
+EnergyLedger::component(const std::string &component) const
+{
+    auto it = components_.find(component);
+    return it == components_.end() ? 0.0 : it->second;
+}
+
+void
+EnergyLedger::merge(const EnergyLedger &other)
+{
+    for (const auto &[name, pj] : other.components_)
+        components_[name] += pj;
+}
+
+} // namespace hygcn

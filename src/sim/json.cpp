@@ -1,0 +1,86 @@
+#include "sim/json.hpp"
+
+#include <cstdio>
+
+namespace hygcn {
+
+std::string
+jsonEscape(const std::string &text)
+{
+    std::string out;
+    out.reserve(text.size() + 8);
+    for (char c : text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+                out += buf;
+            } else {
+                out += c;
+            }
+        }
+    }
+    return out;
+}
+
+namespace {
+
+std::string
+number(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+} // namespace
+
+std::string
+toJson(const SimReport &report)
+{
+    std::string out = "{";
+    out += "\"platform\":\"" + jsonEscape(report.platform) + "\",";
+    out += "\"cycles\":" + std::to_string(report.cycles) + ",";
+    out += "\"seconds\":" + number(report.seconds()) + ",";
+    out += "\"joules\":" + number(report.joules()) + ",";
+    out += "\"dram_bytes\":" + std::to_string(report.dramBytes()) + ",";
+
+    out += "\"energy_pj\":{";
+    bool first = true;
+    for (const auto &[name, pj] : report.energy.components()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":" + number(pj);
+    }
+    out += "},";
+
+    out += "\"counters\":{";
+    first = true;
+    for (const auto &[name, v] : report.stats.counters()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":" + std::to_string(v);
+    }
+    out += "},";
+
+    out += "\"gauges\":{";
+    first = true;
+    for (const auto &[name, v] : report.stats.gauges()) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(name) + "\":" + number(v);
+    }
+    out += "}}";
+    return out;
+}
+
+} // namespace hygcn

@@ -1,0 +1,29 @@
+/**
+ * @file
+ * Minimal JSON serialization of simulation reports, so downstream
+ * tooling (plotting scripts, regression dashboards) can consume
+ * bench output without parsing tables. Only what SimReport needs —
+ * not a general JSON library.
+ */
+
+#ifndef HYGCN_SIM_JSON_HPP
+#define HYGCN_SIM_JSON_HPP
+
+#include <string>
+
+#include "sim/report.hpp"
+
+namespace hygcn {
+
+/** Escape a string for inclusion in a JSON document. */
+std::string jsonEscape(const std::string &text);
+
+/**
+ * Serialize @p report as a single JSON object: platform, cycles,
+ * seconds, joules, energy components (pJ), counters, and gauges.
+ */
+std::string toJson(const SimReport &report);
+
+} // namespace hygcn
+
+#endif // HYGCN_SIM_JSON_HPP

@@ -1,0 +1,53 @@
+#include "sim/stats.hpp"
+
+namespace hygcn {
+
+void
+StatGroup::add(const std::string &name, std::uint64_t delta)
+{
+    counters_[name] += delta;
+}
+
+void
+StatGroup::set(const std::string &name, double value)
+{
+    gauges_[name] = value;
+}
+
+std::uint64_t
+StatGroup::get(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second;
+}
+
+double
+StatGroup::gauge(const std::string &name) const
+{
+    auto it = gauges_.find(name);
+    return it == gauges_.end() ? 0.0 : it->second;
+}
+
+bool
+StatGroup::has(const std::string &name) const
+{
+    return counters_.count(name) > 0 || gauges_.count(name) > 0;
+}
+
+void
+StatGroup::merge(const StatGroup &other)
+{
+    for (const auto &[name, value] : other.counters_)
+        counters_[name] += value;
+    for (const auto &[name, value] : other.gauges_)
+        gauges_[name] = value;
+}
+
+void
+StatGroup::clear()
+{
+    counters_.clear();
+    gauges_.clear();
+}
+
+} // namespace hygcn

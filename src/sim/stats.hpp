@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Named statistic counters collected during simulation. Every engine
+ * and memory component owns a StatGroup; groups can be merged into a
+ * final report.
+ */
+
+#ifndef HYGCN_SIM_STATS_HPP
+#define HYGCN_SIM_STATS_HPP
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hygcn {
+
+/**
+ * A flat bag of named 64-bit counters plus named double gauges.
+ * Counters accumulate event counts (DRAM lines, MAC operations);
+ * gauges hold derived values (utilization fractions).
+ */
+class StatGroup
+{
+  public:
+    /** Add @p delta to counter @p name, creating it at zero if new. */
+    void add(const std::string &name, std::uint64_t delta = 1);
+
+    /** Set gauge @p name to @p value. */
+    void set(const std::string &name, double value);
+
+    /** Read counter @p name (0 if absent). */
+    std::uint64_t get(const std::string &name) const;
+
+    /** Read gauge @p name (0.0 if absent). */
+    double gauge(const std::string &name) const;
+
+    /** True if the counter exists. */
+    bool has(const std::string &name) const;
+
+    /** Merge all counters and gauges from @p other into this group. */
+    void merge(const StatGroup &other);
+
+    /** Drop every counter and gauge. */
+    void clear();
+
+    const std::map<std::string, std::uint64_t> &counters() const
+    { return counters_; }
+
+    const std::map<std::string, double> &gauges() const
+    { return gauges_; }
+
+  private:
+    std::map<std::string, std::uint64_t> counters_;
+    std::map<std::string, double> gauges_;
+};
+
+} // namespace hygcn
+
+#endif // HYGCN_SIM_STATS_HPP

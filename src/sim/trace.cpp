@@ -1,0 +1,44 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hygcn {
+
+Cycle
+Trace::overlapCycles(const std::string &a, const std::string &b) const
+{
+    // Collect and merge each track's spans, then intersect. Span
+    // counts are small (one per interval), so O(n^2) is fine.
+    Cycle overlap = 0;
+    for (const TraceSpan &sa : spans_) {
+        if (sa.track != a)
+            continue;
+        for (const TraceSpan &sb : spans_) {
+            if (sb.track != b)
+                continue;
+            const Cycle lo = std::max(sa.begin, sb.begin);
+            const Cycle hi = std::min(sa.end, sb.end);
+            if (lo < hi)
+                overlap += hi - lo;
+        }
+    }
+    return overlap;
+}
+
+std::string
+Trace::toString() const
+{
+    std::string out;
+    char line[160];
+    for (const TraceSpan &s : spans_) {
+        std::snprintf(line, sizeof(line), "%-6s %-16s [%12llu, %12llu)\n",
+                      s.track.c_str(), s.label.c_str(),
+                      static_cast<unsigned long long>(s.begin),
+                      static_cast<unsigned long long>(s.end));
+        out += line;
+    }
+    return out;
+}
+
+} // namespace hygcn

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Lightweight execution-trace recorder. Components append timed spans
+ * ("agg interval 3", start, end); harnesses and tests can then check
+ * overlap structure (did the pipeline actually overlap the engines?)
+ * or dump a textual Gantt chart.
+ */
+
+#ifndef HYGCN_SIM_TRACE_HPP
+#define HYGCN_SIM_TRACE_HPP
+
+#include <string>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hygcn {
+
+/** One recorded activity span. */
+struct TraceSpan
+{
+    std::string track;   ///< "agg", "comb", ...
+    std::string label;   ///< free-form ("interval 3")
+    Cycle begin = 0;
+    Cycle end = 0;
+
+    Cycle duration() const { return end - begin; }
+};
+
+/** Appendable span collection. A null Trace* disables recording. */
+class Trace
+{
+  public:
+    /** Record a span; no-op if begin >= end. */
+    void
+    record(std::string track, std::string label, Cycle begin, Cycle end)
+    {
+        if (begin >= end)
+            return;
+        spans_.push_back({std::move(track), std::move(label), begin,
+                          end});
+    }
+
+    const std::vector<TraceSpan> &spans() const { return spans_; }
+
+    /** Total busy cycles recorded on @p track. */
+    Cycle
+    busyCycles(const std::string &track) const
+    {
+        Cycle sum = 0;
+        for (const TraceSpan &s : spans_) {
+            if (s.track == track)
+                sum += s.duration();
+        }
+        return sum;
+    }
+
+    /**
+     * Cycles during which spans of @p a overlap spans of @p b — the
+     * direct measure of inter-engine pipelining.
+     */
+    Cycle overlapCycles(const std::string &a, const std::string &b) const;
+
+    /** Render an ASCII summary (one line per span), for debugging. */
+    std::string toString() const;
+
+  private:
+    std::vector<TraceSpan> spans_;
+};
+
+} // namespace hygcn
+
+#endif // HYGCN_SIM_TRACE_HPP

@@ -1,0 +1,77 @@
+#include <gtest/gtest.h>
+
+#include "core/area_power.hpp"
+
+using namespace hygcn;
+
+TEST(AreaPower, TotalsNearPaper)
+{
+    const AreaPowerBreakdown b = computeAreaPower(HyGCNConfig{});
+    EXPECT_NEAR(b.totalPowerWatt(), 6.7, 0.7);
+    EXPECT_NEAR(b.totalAreaMm2(), 7.8, 0.8);
+}
+
+TEST(AreaPower, CombinationComputationDominatesPower)
+{
+    const AreaPowerBreakdown b = computeAreaPower(HyGCNConfig{});
+    for (const AreaPowerEntry &e : b.entries) {
+        if (e.module == "Combination Engine" &&
+            e.component == "Computation") {
+            EXPECT_NEAR(b.powerPercent(e), 60.5, 6.0);
+            EXPECT_NEAR(b.areaPercent(e), 43.0, 5.0);
+            return;
+        }
+    }
+    FAIL() << "missing Combination Engine computation entry";
+}
+
+TEST(AreaPower, CoordinatorBufferDominatesArea)
+{
+    const AreaPowerBreakdown b = computeAreaPower(HyGCNConfig{});
+    for (const AreaPowerEntry &e : b.entries) {
+        if (e.module == "Coordinator" && e.component == "Buffer") {
+            EXPECT_NEAR(b.areaPercent(e), 34.6, 4.0);
+            EXPECT_NEAR(b.powerPercent(e), 17.7, 3.0);
+            return;
+        }
+    }
+    FAIL() << "missing Coordinator buffer entry";
+}
+
+TEST(AreaPower, PercentagesSumToHundred)
+{
+    const AreaPowerBreakdown b = computeAreaPower(HyGCNConfig{});
+    double power = 0.0, area = 0.0;
+    for (const AreaPowerEntry &e : b.entries) {
+        power += b.powerPercent(e);
+        area += b.areaPercent(e);
+    }
+    EXPECT_NEAR(power, 100.0, 1e-6);
+    EXPECT_NEAR(area, 100.0, 1e-6);
+}
+
+TEST(AreaPower, ScalesWithConfiguration)
+{
+    HyGCNConfig half;
+    half.systolicModules = 4;
+    half.aggBufBytes = 8ull << 20;
+    const AreaPowerBreakdown full = computeAreaPower(HyGCNConfig{});
+    const AreaPowerBreakdown small = computeAreaPower(half);
+    EXPECT_LT(small.totalPowerWatt(), full.totalPowerWatt());
+    EXPECT_LT(small.totalAreaMm2(), full.totalAreaMm2());
+}
+
+TEST(AreaPower, ControlOverheadSmall)
+{
+    const AreaPowerBreakdown b = computeAreaPower(HyGCNConfig{});
+    double ctrl_power = 0.0, ctrl_area = 0.0;
+    for (const AreaPowerEntry &e : b.entries) {
+        if (e.component == "Control") {
+            ctrl_power += b.powerPercent(e);
+            ctrl_area += b.areaPercent(e);
+        }
+    }
+    // Paper: ~1.2% power, <0.45% area.
+    EXPECT_LT(ctrl_power, 2.5);
+    EXPECT_LT(ctrl_area, 1.0);
+}

@@ -1,0 +1,42 @@
+#include <gtest/gtest.h>
+
+#include "mem/buffer.hpp"
+
+using namespace hygcn;
+
+TEST(Buffer, DoubleBufferingHalvesUsable)
+{
+    const EnergyTable e;
+    OnChipBuffer dbl("buf.x", 1024, true, "c", e);
+    OnChipBuffer single("buf.y", 1024, false, "c", e);
+    EXPECT_EQ(dbl.usableBytes(), 512u);
+    EXPECT_EQ(single.usableBytes(), 1024u);
+    EXPECT_TRUE(dbl.fits(512));
+    EXPECT_FALSE(dbl.fits(513));
+}
+
+TEST(Buffer, ReadWriteChargeEnergyAndStats)
+{
+    const EnergyTable e;
+    OnChipBuffer buf("buf.t", 128 * 1024, true, "agg_engine", e);
+    EnergyLedger ledger;
+    StatGroup stats;
+    buf.read(100, ledger, stats);
+    buf.write(50, ledger, stats);
+    EXPECT_EQ(stats.get("buf.t.read_bytes"), 100u);
+    EXPECT_EQ(stats.get("buf.t.write_bytes"), 50u);
+    EXPECT_DOUBLE_EQ(ledger.component("agg_engine"),
+                     150.0 * e.edramSmallPerByte);
+}
+
+TEST(Buffer, LargerBuffersCostMorePerByte)
+{
+    const EnergyTable e;
+    OnChipBuffer small("buf.s", 128 * 1024, false, "c", e);
+    OnChipBuffer large("buf.l", 16ull << 20, false, "c", e);
+    EnergyLedger ls, ll;
+    StatGroup st;
+    small.read(1000, ls, st);
+    large.read(1000, ll, st);
+    EXPECT_LT(ls.total(), ll.total());
+}

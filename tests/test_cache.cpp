@@ -1,0 +1,94 @@
+#include <gtest/gtest.h>
+
+#include "baseline/cache.hpp"
+
+using namespace hygcn;
+
+TEST(Cache, ColdMissThenHit)
+{
+    CacheLevel l({1024, 2, 64});
+    EXPECT_FALSE(l.access(0));
+    EXPECT_TRUE(l.access(0));
+    EXPECT_TRUE(l.access(32)); // same line
+    EXPECT_EQ(l.accesses(), 3u);
+    EXPECT_EQ(l.misses(), 1u);
+}
+
+TEST(Cache, LruEviction)
+{
+    // 2-way, line 64, capacity 128 => 1 set.
+    CacheLevel l({128, 2, 64});
+    EXPECT_EQ(l.numSets(), 1u);
+    l.access(0);
+    l.access(64);
+    l.access(128); // evicts line 0 (LRU)
+    EXPECT_FALSE(l.access(0));
+    EXPECT_TRUE(l.access(128));
+}
+
+TEST(Cache, LruUpdateOnHit)
+{
+    CacheLevel l({128, 2, 64});
+    l.access(0);
+    l.access(64);
+    l.access(0);   // 0 becomes MRU
+    l.access(128); // evicts 64
+    EXPECT_TRUE(l.access(0));
+    EXPECT_FALSE(l.access(64));
+}
+
+TEST(Cache, SetIndexing)
+{
+    // 2 sets: lines alternate sets.
+    CacheLevel l({256, 2, 64});
+    EXPECT_EQ(l.numSets(), 2u);
+    l.access(0);   // set 0
+    l.access(64);  // set 1
+    l.access(128); // set 0
+    l.access(192); // set 1
+    // All four fit (2 per set).
+    EXPECT_TRUE(l.access(0));
+    EXPECT_TRUE(l.access(64));
+}
+
+TEST(Cache, ResetClears)
+{
+    CacheLevel l({1024, 4, 64});
+    l.access(0);
+    l.reset();
+    EXPECT_EQ(l.accesses(), 0u);
+    EXPECT_FALSE(l.access(0));
+}
+
+TEST(CacheHierarchy, CascadesOnMiss)
+{
+    CacheHierarchy h({128, 2, 64}, {512, 4, 64}, {4096, 8, 64});
+    EXPECT_EQ(h.access(0), 4); // memory
+    EXPECT_EQ(h.access(0), 1); // L1 hit
+    // Evict from L1 by filling its single... access distinct lines.
+    for (Addr a = 64; a < 64 * 10; a += 64)
+        h.access(a);
+    // Line 0 should be gone from L1 but still in L2 or L3.
+    const int level = h.access(0);
+    EXPECT_GT(level, 1);
+    EXPECT_LT(level, 4);
+}
+
+TEST(CacheHierarchy, DramBytesFromL3Misses)
+{
+    CacheHierarchy h({128, 2, 64}, {512, 4, 64}, {4096, 8, 64});
+    for (Addr a = 0; a < 64 * 100; a += 64)
+        h.access(a);
+    EXPECT_EQ(h.dramBytes(), h.level(3).misses() * 64);
+    EXPECT_GT(h.dramBytes(), 0u);
+}
+
+TEST(CacheHierarchy, WorkingSetFitsAfterWarmup)
+{
+    CacheHierarchy h({1024, 4, 64}, {8192, 8, 64}, {65536, 16, 64});
+    // Working set of 8 lines fits in L1.
+    for (int pass = 0; pass < 3; ++pass)
+        for (Addr a = 0; a < 8 * 64; a += 64)
+            h.access(a);
+    EXPECT_EQ(h.level(1).misses(), 8u);
+}

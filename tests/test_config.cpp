@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "core/accelerator.hpp"
+#include "core/config.hpp"
+
+using namespace hygcn;
+
+TEST(Config, DefaultsMatchTable6)
+{
+    const HyGCNConfig c;
+    EXPECT_EQ(c.simdCores, 32u);
+    EXPECT_EQ(c.simdWidth, 16u);
+    EXPECT_EQ(c.totalLanes(), 512u);
+    EXPECT_EQ(c.systolicModules, 8u);
+    EXPECT_EQ(c.moduleRows, 4u);
+    EXPECT_EQ(c.moduleCols, 128u);
+    EXPECT_EQ(c.totalPes(), 4096u);
+    EXPECT_EQ(c.inputBufBytes, 128u * 1024);
+    EXPECT_EQ(c.edgeBufBytes, 2u << 20);
+    EXPECT_EQ(c.weightBufBytes, 2u << 20);
+    EXPECT_EQ(c.outputBufBytes, 4u << 20);
+    EXPECT_EQ(c.aggBufBytes, 16u << 20);
+    // 128 KB + 2 + 2 + 4 + 16 MB = 24.125 MB total on-chip.
+    EXPECT_EQ(c.totalBufferBytes(), (24ull << 20) + 128 * 1024);
+    EXPECT_DOUBLE_EQ(c.clockHz, 1e9);
+    EXPECT_DOUBLE_EQ(c.hbm.peakBytesPerSec(), 256e9);
+}
+
+TEST(Config, DefaultValidates)
+{
+    EXPECT_NO_THROW(HyGCNConfig{}.validate());
+}
+
+TEST(Config, RejectsZeroEngines)
+{
+    HyGCNConfig c;
+    c.simdCores = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = HyGCNConfig{};
+    c.systolicModules = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = HyGCNConfig{};
+    c.moduleRows = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsDegenerateBuffers)
+{
+    HyGCNConfig c;
+    c.aggBufBytes = 16;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = HyGCNConfig{};
+    c.inputBufBytes = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, RejectsBrokenHbm)
+{
+    HyGCNConfig c;
+    c.hbm.channels = 0;
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+    c = HyGCNConfig{};
+    c.hbm.rowBytes = 100; // not a multiple of the line size
+    EXPECT_THROW(c.validate(), std::invalid_argument);
+}
+
+TEST(Config, AcceleratorConstructorValidates)
+{
+    HyGCNConfig c;
+    c.moduleCols = 0;
+    EXPECT_THROW(HyGCNAccelerator{c}, std::invalid_argument);
+}
+
+TEST(Config, EffectiveHbmFollowsCoordinationFlag)
+{
+    HyGCNConfig c;
+    c.memoryCoordination = false;
+    EXPECT_FALSE(c.effectiveHbm().lowBitChannelInterleave);
+    EXPECT_FALSE(c.effectiveCoordinator().priorityReorder);
+    c.memoryCoordination = true;
+    EXPECT_TRUE(c.effectiveHbm().lowBitChannelInterleave);
+    EXPECT_TRUE(c.effectiveCoordinator().priorityReorder);
+}
+
+TEST(Config, DeepModelsSupported)
+{
+    const ModelConfig deep = makeModel(ModelId::GCN, 64, 4);
+    ASSERT_EQ(deep.layers.size(), 4u);
+    EXPECT_EQ(deep.layers[0].inFeatures, 64);
+    for (std::size_t i = 1; i < 4; ++i)
+        EXPECT_EQ(deep.layers[i].inFeatures, 128);
+    EXPECT_THROW(makeModel(ModelId::GCN, 64, 0), std::invalid_argument);
+    // DiffPool depth is fixed at its pool+embed pair.
+    EXPECT_EQ(makeModel(ModelId::DFP, 64, 5).layers.size(), 2u);
+}

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "baseline/cpu_model.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+const Dataset &
+cora()
+{
+    static const Dataset ds = makeDataset(DatasetId::CR, 1);
+    return ds;
+}
+
+} // namespace
+
+TEST(CpuModel, ProducesPositivePhases)
+{
+    CpuModel cpu;
+    const ModelConfig m = makeModel(ModelId::GCN, cora().featureLen);
+    const SimReport r = cpu.run(cora(), m, 7, {});
+    EXPECT_GT(r.stats.gauge("phase.agg_seconds"), 0.0);
+    EXPECT_GT(r.stats.gauge("phase.comb_seconds"), 0.0);
+    EXPECT_GT(r.seconds(), 0.0);
+    EXPECT_GT(r.joules(), 0.0);
+    EXPECT_EQ(r.platform, "PyG-CPU");
+}
+
+TEST(CpuModel, PartitionOptimizedFaster)
+{
+    CpuModel cpu;
+    const ModelConfig m = makeModel(ModelId::GCN, cora().featureLen);
+    CpuRunOptions opt;
+    opt.partitionOptimized = true;
+    const SimReport naive = cpu.run(cora(), m, 7, {});
+    const SimReport optimized = cpu.run(cora(), m, 7, opt);
+    EXPECT_LT(optimized.seconds(), naive.seconds());
+    EXPECT_LE(optimized.dramBytes(), naive.dramBytes());
+    EXPECT_EQ(optimized.platform, "PyG-CPU-OP");
+}
+
+TEST(CpuModel, AggregationIrregularityCharacterization)
+{
+    // Table 2 shape: aggregation needs orders of magnitude more DRAM
+    // bytes per op and higher MPKI than combination.
+    CpuModel cpu;
+    const ModelConfig m = makeModel(ModelId::GCN, cora().featureLen);
+    const SimReport r = cpu.run(cora(), m, 7, {});
+    EXPECT_GT(r.stats.gauge("cpu.agg_bytes_per_op"),
+              20.0 * r.stats.gauge("cpu.comb_bytes_per_op"));
+    EXPECT_GT(r.stats.gauge("cpu.agg_l2_mpki"),
+              r.stats.gauge("cpu.comb_l2_mpki"));
+    EXPECT_DOUBLE_EQ(r.stats.gauge("cpu.sync_ratio"), 0.36);
+}
+
+TEST(CpuModel, GinSpendsMoreTimeAggregating)
+{
+    // GIN aggregates on the full-length features (aggregation first).
+    CpuModel cpu;
+    const ModelConfig gcn = makeModel(ModelId::GCN, cora().featureLen);
+    const ModelConfig gin = makeModel(ModelId::GIN, cora().featureLen);
+    const double f_gcn = cpu.run(cora(), gcn, 7, {})
+                             .stats.gauge("phase.agg_fraction");
+    const double f_gin = cpu.run(cora(), gin, 7, {})
+                             .stats.gauge("phase.agg_fraction");
+    EXPECT_GT(f_gin, f_gcn);
+}
+
+TEST(CpuModel, SamplingCapKeepsLargeGraphsTractable)
+{
+    CpuConfig config;
+    config.maxSimulatedAccesses = 10'000; // force sampling
+    CpuModel cpu(config);
+    const ModelConfig m = makeModel(ModelId::GCN, cora().featureLen);
+    const SimReport r = cpu.run(cora(), m, 7, {});
+    // Statistics are scaled back to the full edge count.
+    EXPECT_GT(r.stats.get("cpu.agg_instructions"), 1'000'000u);
+}
+
+TEST(CpuModel, Deterministic)
+{
+    CpuModel cpu;
+    const ModelConfig m = makeModel(ModelId::GSC, cora().featureLen);
+    const SimReport a = cpu.run(cora(), m, 7, {});
+    const SimReport b = cpu.run(cora(), m, 7, {});
+    EXPECT_EQ(a.cycles, b.cycles);
+    EXPECT_EQ(a.dramBytes(), b.dramBytes());
+}
+
+TEST(CpuModel, DiffPoolAddsPoolingFlops)
+{
+    CpuModel cpu;
+    const Dataset ib = makeDataset(DatasetId::IB, 1);
+    const ModelConfig dfp = makeModel(ModelId::DFP, ib.featureLen);
+    const SimReport r = cpu.run(ib, dfp, 7, {});
+    EXPECT_GT(r.stats.get("cpu.comb_instructions"), 0u);
+    EXPECT_GT(r.seconds(), 0.0);
+}

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "sim/energy.hpp"
+#include "sim/report.hpp"
+
+using namespace hygcn;
+
+TEST(EnergyTable, EdramTiersMonotonic)
+{
+    const EnergyTable e;
+    EXPECT_LE(e.edramPerByte(128 * 1024), e.edramPerByte(1 << 21));
+    EXPECT_LE(e.edramPerByte(1 << 21), e.edramPerByte(16ull << 20));
+}
+
+TEST(EnergyTable, HbmMatchesPaperConstant)
+{
+    const EnergyTable e;
+    // The paper's HBM energy: 7 pJ/bit = 56 pJ/byte.
+    EXPECT_DOUBLE_EQ(e.hbmPerByte(), 56.0);
+}
+
+TEST(EnergyLedger, TotalSumsComponents)
+{
+    EnergyLedger l;
+    l.charge("a", 10.0);
+    l.charge("b", 5.0);
+    l.charge("a", 2.5);
+    EXPECT_DOUBLE_EQ(l.total(), 17.5);
+    EXPECT_DOUBLE_EQ(l.component("a"), 12.5);
+    EXPECT_DOUBLE_EQ(l.component("b"), 5.0);
+    EXPECT_DOUBLE_EQ(l.component("missing"), 0.0);
+}
+
+TEST(EnergyLedger, MergeAccumulates)
+{
+    EnergyLedger a, b;
+    a.charge("x", 1.0);
+    b.charge("x", 2.0);
+    b.charge("y", 3.0);
+    a.merge(b);
+    EXPECT_DOUBLE_EQ(a.component("x"), 3.0);
+    EXPECT_DOUBLE_EQ(a.component("y"), 3.0);
+    EXPECT_DOUBLE_EQ(a.total(), 6.0);
+}
+
+TEST(SimReport, SecondsFromCycles)
+{
+    SimReport r;
+    r.cycles = 2'000'000'000ull;
+    r.clockHz = 1e9;
+    EXPECT_DOUBLE_EQ(r.seconds(), 2.0);
+}
+
+TEST(SimReport, JoulesFromPicojoules)
+{
+    SimReport r;
+    r.energy.charge("x", 1e12); // 1 J
+    EXPECT_DOUBLE_EQ(r.joules(), 1.0);
+}
+
+TEST(SimReport, DramBytesSumsReadsAndWrites)
+{
+    SimReport r;
+    r.stats.add("dram.read_bytes", 100);
+    r.stats.add("dram.write_bytes", 28);
+    EXPECT_EQ(r.dramBytes(), 128u);
+}
+
+TEST(SimReport, BandwidthUtilization)
+{
+    SimReport r;
+    r.cycles = 1'000'000'000ull; // 1 s at 1 GHz
+    r.clockHz = 1e9;
+    r.stats.add("dram.read_bytes", 128'000'000'000ull);
+    EXPECT_NEAR(r.bandwidthUtilization(256e9), 0.5, 1e-9);
+    EXPECT_EQ(r.bandwidthUtilization(0.0), 0.0);
+}
+
+TEST(SimReport, Formatters)
+{
+    EXPECT_EQ(formatSeconds(0.0025), "2.5 ms");
+    EXPECT_EQ(formatJoules(3.2e-6), "3.2 uJ");
+    EXPECT_EQ(formatBytes(2048.0), "2 KiB");
+}

@@ -1,0 +1,53 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/fixed_point.hpp"
+#include "sim/rng.hpp"
+
+using namespace hygcn;
+
+TEST(FixedPoint, ExactForGridValues)
+{
+    EXPECT_EQ(quantize(1.0f), 1.0f);
+    EXPECT_EQ(quantize(0.5f), 0.5f);
+    EXPECT_EQ(quantize(-2.25f), -2.25f);
+    EXPECT_EQ(quantize(0.0f), 0.0f);
+}
+
+TEST(FixedPoint, RoundTripErrorBounded)
+{
+    Rng rng(1);
+    const float half_ulp = 0.5f / (1 << kFixedFracBits);
+    for (int i = 0; i < 10000; ++i) {
+        const float v = rng.nextFloat(-100.0f, 100.0f);
+        EXPECT_NEAR(quantize(v), v, half_ulp * 1.01f);
+    }
+}
+
+TEST(FixedPoint, Saturates)
+{
+    const float huge = 1e9f;
+    EXPECT_LT(quantize(huge), huge);
+    EXPECT_NEAR(quantize(huge), 32768.0f, 1.0f);
+    EXPECT_NEAR(quantize(-huge), -32768.0f, 1.0f);
+}
+
+TEST(FixedPoint, ToFromInverse)
+{
+    for (std::int32_t raw :
+         {0, 1, -1, 65536, -65536, 1 << 22, -(1 << 23)}) {
+        EXPECT_EQ(toFixed(fromFixed(raw)), raw);
+    }
+}
+
+TEST(FixedPoint, QuantizeInPlaceReportsMaxChange)
+{
+    Matrix m(2, 2);
+    m.at(0, 0) = 0.5f;                       // exact
+    m.at(1, 1) = 0.3f;                       // inexact
+    const float change = quantizeInPlace(m);
+    EXPECT_GT(change, 0.0f);
+    EXPECT_LT(change, 1.0f / (1 << kFixedFracBits));
+    EXPECT_EQ(m.at(0, 0), 0.5f);
+}

@@ -1,0 +1,137 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/generator.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+std::set<std::uint64_t>
+canonical(const EdgeList &edges)
+{
+    std::set<std::uint64_t> keys;
+    for (auto [a, b] : edges) {
+        if (a > b)
+            std::swap(a, b);
+        keys.insert((static_cast<std::uint64_t>(a) << 32) | b);
+    }
+    return keys;
+}
+
+} // namespace
+
+class GeneratorParam
+    : public ::testing::TestWithParam<std::pair<VertexId, EdgeId>>
+{
+};
+
+TEST_P(GeneratorParam, UniformExactCountNoDupNoSelf)
+{
+    auto [v, e] = GetParam();
+    Rng rng(1);
+    const EdgeList edges = generateUniform(v, e, rng);
+    EXPECT_EQ(edges.size(), e);
+    EXPECT_EQ(canonical(edges).size(), e);
+    for (auto [a, b] : edges) {
+        EXPECT_NE(a, b);
+        EXPECT_LT(a, v);
+        EXPECT_LT(b, v);
+    }
+}
+
+TEST_P(GeneratorParam, RmatExactCountNoDupNoSelf)
+{
+    auto [v, e] = GetParam();
+    Rng rng(2);
+    const EdgeList edges = generateRmat(v, e, rng);
+    EXPECT_EQ(edges.size(), e);
+    EXPECT_EQ(canonical(edges).size(), e);
+    for (auto [a, b] : edges) {
+        EXPECT_NE(a, b);
+        EXPECT_LT(a, v);
+        EXPECT_LT(b, v);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, GeneratorParam,
+    ::testing::Values(std::pair<VertexId, EdgeId>{16, 30},
+                      std::pair<VertexId, EdgeId>{100, 500},
+                      std::pair<VertexId, EdgeId>{1000, 5000},
+                      std::pair<VertexId, EdgeId>{4096, 20000}));
+
+TEST(Generator, UniformClampsToMaxEdges)
+{
+    Rng rng(3);
+    const EdgeList edges = generateUniform(4, 1000, rng);
+    EXPECT_EQ(edges.size(), 6u); // complete graph K4
+}
+
+TEST(Generator, RmatSkewExceedsUniform)
+{
+    Rng u_rng(7), r_rng(7);
+    const VertexId v = 2048;
+    const EdgeId e = 16384;
+    auto max_degree = [v](const EdgeList &edges) {
+        std::vector<int> deg(v, 0);
+        for (auto [a, b] : edges) {
+            ++deg[a];
+            ++deg[b];
+        }
+        return *std::max_element(deg.begin(), deg.end());
+    };
+    const int uniform_max = max_degree(generateUniform(v, e, u_rng));
+    const int rmat_max = max_degree(generateRmat(v, e, r_rng));
+    EXPECT_GT(rmat_max, 2 * uniform_max);
+}
+
+TEST(Generator, CommunityConnectedRing)
+{
+    Rng rng(5);
+    const EdgeList edges = generateCommunity(10, 20, rng);
+    EXPECT_EQ(edges.size(), 20u);
+    // Ring edges guarantee every vertex has degree >= 2.
+    std::vector<int> deg(10, 0);
+    for (auto [a, b] : edges) {
+        ++deg[a];
+        ++deg[b];
+    }
+    for (int d : deg)
+        EXPECT_GE(d, 2);
+}
+
+TEST(Generator, CommunityTinySizes)
+{
+    Rng rng(6);
+    EXPECT_EQ(generateCommunity(2, 5, rng).size(), 1u);
+    EXPECT_TRUE(generateCommunity(1, 5, rng).empty());
+}
+
+TEST(Generator, AssembleComponentsBlockDiagonal)
+{
+    Rng rng(8);
+    std::vector<VertexId> boundaries;
+    const EdgeList edges =
+        assembleComponents({5, 7, 3}, {8, 15, 3}, rng, boundaries);
+    ASSERT_EQ(boundaries.size(), 4u);
+    EXPECT_EQ(boundaries.back(), 15u);
+    // No edge crosses a component boundary.
+    for (auto [a, b] : edges) {
+        std::size_t ca = 0, cb = 0;
+        for (std::size_t i = 0; i + 1 < boundaries.size(); ++i) {
+            if (a >= boundaries[i] && a < boundaries[i + 1])
+                ca = i;
+            if (b >= boundaries[i] && b < boundaries[i + 1])
+                cb = i;
+        }
+        EXPECT_EQ(ca, cb);
+    }
+}
+
+TEST(Generator, Deterministic)
+{
+    Rng a(99), b(99);
+    EXPECT_EQ(generateRmat(256, 1000, a), generateRmat(256, 1000, b));
+}

@@ -1,0 +1,82 @@
+#include <gtest/gtest.h>
+
+#include "baseline/gpu_model.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+const Dataset &
+pubmed()
+{
+    static const Dataset ds = makeDataset(DatasetId::PB, 1);
+    return ds;
+}
+
+} // namespace
+
+TEST(GpuModel, ProducesPositiveReport)
+{
+    GpuModel gpu;
+    const ModelConfig m = makeModel(ModelId::GCN, pubmed().featureLen);
+    const SimReport r = gpu.run(pubmed(), m, 7, {});
+    EXPECT_GT(r.seconds(), 0.0);
+    EXPECT_GT(r.joules(), 0.0);
+    EXPECT_GT(r.dramBytes(), 0u);
+    EXPECT_EQ(r.platform, "PyG-GPU");
+    EXPECT_EQ(r.stats.gauge("gpu.oom"), 0.0);
+}
+
+TEST(GpuModel, PartitionOptimizationSlowsDown)
+{
+    // The paper's Fig 10b: occupancy collapse makes the partitioned
+    // execution slower on GPU.
+    GpuModel gpu;
+    const ModelConfig m = makeModel(ModelId::GIN, pubmed().featureLen);
+    GpuRunOptions opt;
+    opt.partitionOptimized = true;
+    const SimReport naive = gpu.run(pubmed(), m, 7, {});
+    const SimReport part = gpu.run(pubmed(), m, 7, opt);
+    EXPECT_GE(part.seconds(), naive.seconds());
+}
+
+TEST(GpuModel, MaterializationCostsExtraTraffic)
+{
+    // Max-aggregator (GSC) materializes messages; Add-after-combine
+    // (GCN) does not. Same dataset, GSC moves more aggregation bytes
+    // per edge.
+    GpuModel gpu;
+    const ModelConfig gcn = makeModel(ModelId::GCN, pubmed().featureLen);
+    const ModelConfig gin = makeModel(ModelId::GIN, pubmed().featureLen);
+    const SimReport r_gcn = gpu.run(pubmed(), gcn, 7, {});
+    const SimReport r_gin = gpu.run(pubmed(), gin, 7, {});
+    EXPECT_GT(r_gin.dramBytes(), r_gcn.dramBytes());
+}
+
+TEST(GpuModel, OomOnHugeMaterialization)
+{
+    GpuConfig small;
+    small.memCapacityBytes = 1ull << 20; // 1 MB device
+    GpuModel gpu(small);
+    const ModelConfig m = makeModel(ModelId::GIN, pubmed().featureLen);
+    const SimReport r = gpu.run(pubmed(), m, 7, {});
+    EXPECT_EQ(r.stats.gauge("gpu.oom"), 1.0);
+}
+
+TEST(GpuModel, BandwidthUtilizationBounded)
+{
+    GpuModel gpu;
+    const ModelConfig m = makeModel(ModelId::GCN, pubmed().featureLen);
+    const SimReport r = gpu.run(pubmed(), m, 7, {});
+    const double util = r.stats.gauge("gpu.bandwidth_utilization");
+    EXPECT_GT(util, 0.0);
+    EXPECT_LE(util, 1.0);
+}
+
+TEST(GpuModel, Deterministic)
+{
+    GpuModel gpu;
+    const ModelConfig m = makeModel(ModelId::GSC, pubmed().featureLen);
+    EXPECT_EQ(gpu.run(pubmed(), m, 7, {}).cycles,
+              gpu.run(pubmed(), m, 7, {}).cycles);
+}

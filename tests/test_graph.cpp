@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/graph.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+Graph
+diamond()
+{
+    // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3 (directed), then symmetrized.
+    return Graph::fromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, true);
+}
+
+} // namespace
+
+TEST(Graph, EmptyGraph)
+{
+    const Graph g = Graph::fromEdges(3, {}, true);
+    EXPECT_EQ(g.numVertices(), 3u);
+    EXPECT_EQ(g.numEdges(), 0u);
+    EXPECT_EQ(g.inDegree(0), 0u);
+}
+
+TEST(Graph, SymmetrizationDoublesEdges)
+{
+    const Graph g = diamond();
+    EXPECT_EQ(g.numEdges(), 8u);
+    EXPECT_EQ(g.inDegree(3), 2u);
+    EXPECT_EQ(g.outDegree(3), 2u);
+}
+
+TEST(Graph, DirectedKeepsEdgeCount)
+{
+    const Graph g =
+        Graph::fromEdges(4, {{0, 1}, {0, 2}, {1, 3}, {2, 3}}, false);
+    EXPECT_EQ(g.numEdges(), 4u);
+    EXPECT_EQ(g.inDegree(0), 0u);
+    EXPECT_EQ(g.outDegree(0), 2u);
+}
+
+TEST(Graph, NeighborsSorted)
+{
+    const Graph g = Graph::fromEdges(
+        5, {{4, 0}, {2, 0}, {3, 0}, {1, 0}}, false);
+    auto nbrs = g.inNeighbors(0);
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    EXPECT_EQ(nbrs.size(), 4u);
+}
+
+TEST(Graph, HasEdge)
+{
+    const Graph g = diamond();
+    EXPECT_TRUE(g.hasEdge(0, 1));
+    EXPECT_TRUE(g.hasEdge(1, 0)); // symmetrized
+    EXPECT_FALSE(g.hasEdge(0, 3));
+}
+
+TEST(Graph, SelfLoopNotDuplicatedBySymmetrize)
+{
+    const Graph g = Graph::fromEdges(2, {{0, 0}, {0, 1}}, true);
+    EXPECT_EQ(g.numEdges(), 3u); // (0,0), (0,1), (1,0)
+}
+
+TEST(Graph, RejectsOutOfRangeEndpoint)
+{
+    EXPECT_THROW(Graph::fromEdges(2, {{0, 5}}, false),
+                 std::invalid_argument);
+}
+
+TEST(Graph, CscViewConsistent)
+{
+    const Graph g = diamond();
+    const CscView v = g.csc();
+    EXPECT_EQ(v.numVertices, 4u);
+    EXPECT_EQ(v.numEdges(), g.numEdges());
+    for (VertexId d = 0; d < 4; ++d)
+        EXPECT_EQ(v.inDegree(d), g.inDegree(d));
+}
+
+TEST(Graph, StorageBytesPositive)
+{
+    EXPECT_GT(diamond().storageBytes(), 0u);
+}
+
+TEST(EdgeSet, FromGraphWithoutSelfLoops)
+{
+    const EdgeSet es = EdgeSet::fromGraph(diamond(), false);
+    EXPECT_EQ(es.numEdges(), 8u);
+}
+
+TEST(EdgeSet, SelfLoopInsertionKeepsSorted)
+{
+    const EdgeSet es = EdgeSet::fromGraph(diamond(), true);
+    EXPECT_EQ(es.numEdges(), 12u); // 8 + 4 self loops
+    const CscView v = es.view();
+    for (VertexId d = 0; d < 4; ++d) {
+        auto srcs = v.sources(d);
+        EXPECT_TRUE(std::is_sorted(srcs.begin(), srcs.end()));
+        EXPECT_TRUE(std::binary_search(srcs.begin(), srcs.end(), d));
+    }
+}
+
+TEST(EdgeSet, SelfLoopNotDuplicatedWhenPresent)
+{
+    const Graph g = Graph::fromEdges(2, {{0, 0}, {1, 0}}, false);
+    const EdgeSet es = EdgeSet::fromGraph(g, true);
+    // Column 0 had {0, 1}; self loop already there. Column 1 gains one.
+    EXPECT_EQ(es.numEdges(), 3u);
+}
+
+TEST(EdgeSet, FromColumns)
+{
+    const EdgeSet es = EdgeSet::fromColumns(3, {{1, 2}, {}, {0}});
+    EXPECT_EQ(es.numEdges(), 3u);
+    EXPECT_EQ(es.view().inDegree(1), 0u);
+    EXPECT_EQ(es.view().sources(2)[0], 0u);
+}
+
+TEST(EdgeSet, FromRawAdoptsArrays)
+{
+    const EdgeSet es =
+        EdgeSet::fromRaw(2, {0, 1, 2}, {1, 0});
+    EXPECT_EQ(es.numEdges(), 2u);
+    EXPECT_EQ(es.view().sources(0)[0], 1u);
+}

@@ -1,0 +1,85 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/layer.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+Graph
+triangle()
+{
+    return Graph::fromEdges(3, {{0, 1}, {1, 2}, {2, 0}}, true);
+}
+
+} // namespace
+
+TEST(Layer, OutFeaturesFromMlp)
+{
+    LayerConfig l;
+    l.inFeatures = 64;
+    EXPECT_EQ(l.outFeatures(), 64);
+    l.mlpDims = {128};
+    EXPECT_EQ(l.outFeatures(), 128);
+    l.mlpDims = {128, 256};
+    EXPECT_EQ(l.outFeatures(), 256);
+}
+
+TEST(Layer, InvSqrtDegrees)
+{
+    const Graph g = triangle(); // every vertex has in-degree 2
+    const auto inv = invSqrtDegreesPlusSelf(g);
+    ASSERT_EQ(inv.size(), 3u);
+    for (float v : inv)
+        EXPECT_NEAR(v, 1.0f / std::sqrt(3.0f), 1e-6f);
+}
+
+TEST(Layer, EdgeCoefOne)
+{
+    const EdgeCoefFn coef(EdgeCoefKind::One, {}, 0.0f);
+    EXPECT_EQ(coef(0, 1), 1.0f);
+    EXPECT_EQ(coef(5, 5), 1.0f);
+}
+
+TEST(Layer, EdgeCoefGcnNorm)
+{
+    const std::vector<float> inv = {0.5f, 0.25f};
+    const EdgeCoefFn coef(EdgeCoefKind::GcnNorm, inv, 0.0f);
+    EXPECT_FLOAT_EQ(coef(0, 1), 0.125f);
+    EXPECT_FLOAT_EQ(coef(1, 1), 0.0625f);
+}
+
+TEST(Layer, EdgeCoefGinEps)
+{
+    const EdgeCoefFn coef(EdgeCoefKind::GinEps, {}, 0.25f);
+    EXPECT_FLOAT_EQ(coef(3, 3), 1.25f);
+    EXPECT_FLOAT_EQ(coef(2, 3), 1.0f);
+}
+
+TEST(Layer, BuildLayerEdgesAddsSelfLoops)
+{
+    LayerConfig l;
+    l.selfLoops = true;
+    const EdgeSet es = buildLayerEdges(triangle(), l, 1);
+    EXPECT_EQ(es.numEdges(), triangle().numEdges() + 3);
+}
+
+TEST(Layer, BuildLayerEdgesSampling)
+{
+    LayerConfig l;
+    l.selfLoops = true;
+    l.sampleNeighbors = 1;
+    const EdgeSet es = buildLayerEdges(triangle(), l, 1);
+    // 1 sampled neighbor + self loop per vertex.
+    for (VertexId v = 0; v < 3; ++v)
+        EXPECT_EQ(es.view().inDegree(v), 2u);
+}
+
+TEST(Layer, SampleSeedDerivationDistinct)
+{
+    EXPECT_NE(layerSampleSeed(1, 0), layerSampleSeed(1, 1));
+    EXPECT_NE(layerSampleSeed(1, 0), layerSampleSeed(2, 0));
+    EXPECT_EQ(layerSampleSeed(9, 3), layerSampleSeed(9, 3));
+}

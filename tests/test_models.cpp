@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include "model/models.hpp"
+
+using namespace hygcn;
+
+TEST(Models, AbbreviationsMatchPaper)
+{
+    EXPECT_EQ(modelAbbrev(ModelId::GCN), "GCN");
+    EXPECT_EQ(modelAbbrev(ModelId::GSC), "GSC");
+    EXPECT_EQ(modelAbbrev(ModelId::GIN), "GIN");
+    EXPECT_EQ(modelAbbrev(ModelId::DFP), "DFP");
+    EXPECT_EQ(allModels().size(), 4u);
+}
+
+TEST(Models, GcnTable5Shape)
+{
+    const ModelConfig m = makeModel(ModelId::GCN, 1433);
+    ASSERT_EQ(m.layers.size(), 2u);
+    EXPECT_EQ(m.layers[0].aggOp, AggOp::Add);
+    EXPECT_EQ(m.layers[0].coef, EdgeCoefKind::GcnNorm);
+    EXPECT_EQ(m.layers[0].inFeatures, 1433);
+    EXPECT_EQ(m.layers[0].mlpDims, std::vector<int>{128});
+    EXPECT_EQ(m.layers[1].inFeatures, 128);
+    EXPECT_TRUE(m.cpuCombineFirst);
+    EXPECT_FALSE(m.isDiffPool);
+    EXPECT_EQ(m.layers[0].sampleNeighbors, 0u);
+}
+
+TEST(Models, GraphSageSamples25WithMax)
+{
+    const ModelConfig m = makeModel(ModelId::GSC, 500);
+    for (const LayerConfig &l : m.layers) {
+        EXPECT_EQ(l.aggOp, AggOp::Max);
+        EXPECT_EQ(l.sampleNeighbors, 25u);
+    }
+}
+
+TEST(Models, GinAggregatesFirstWithTwoStageMlp)
+{
+    const ModelConfig m = makeModel(ModelId::GIN, 136);
+    EXPECT_FALSE(m.cpuCombineFirst);
+    EXPECT_TRUE(m.readoutConcat);
+    for (const LayerConfig &l : m.layers) {
+        EXPECT_EQ(l.coef, EdgeCoefKind::GinEps);
+        EXPECT_EQ(l.mlpDims.size(), 2u);
+    }
+}
+
+TEST(Models, DiffPoolTwoMinGcns)
+{
+    const ModelConfig m = makeModel(ModelId::DFP, 492);
+    EXPECT_TRUE(m.isDiffPool);
+    ASSERT_EQ(m.layers.size(), 2u);
+    EXPECT_EQ(m.layers[0].aggOp, AggOp::Min);
+    EXPECT_EQ(m.layers[0].activation, Activation::SoftmaxRows);
+    EXPECT_EQ(m.layers[1].activation, Activation::ReLU);
+    EXPECT_EQ(m.layers[0].inFeatures, m.layers[1].inFeatures);
+    EXPECT_EQ(m.clusters, 128);
+}
+
+TEST(Models, ParamsMatchLayerShapes)
+{
+    const ModelConfig m = makeModel(ModelId::GIN, 136);
+    const ModelParams p = makeParams(m, 1);
+    ASSERT_EQ(p.weights.size(), m.layers.size());
+    for (std::size_t li = 0; li < m.layers.size(); ++li) {
+        const LayerConfig &l = m.layers[li];
+        ASSERT_EQ(p.weights[li].size(), l.mlpDims.size());
+        int in = l.inFeatures;
+        for (std::size_t s = 0; s < l.mlpDims.size(); ++s) {
+            EXPECT_EQ(p.weights[li][s].rows(),
+                      static_cast<std::size_t>(in));
+            EXPECT_EQ(p.weights[li][s].cols(),
+                      static_cast<std::size_t>(l.mlpDims[s]));
+            EXPECT_EQ(p.biases[li][s].size(),
+                      static_cast<std::size_t>(l.mlpDims[s]));
+            in = l.mlpDims[s];
+        }
+    }
+}
+
+TEST(Models, LayerParamBytes)
+{
+    const ModelConfig m = makeModel(ModelId::GCN, 100);
+    const ModelParams p = makeParams(m, 2);
+    // 100x128 weights + 128 bias, 4 bytes each.
+    EXPECT_EQ(p.layerParamBytes(0), (100u * 128 + 128) * 4);
+}
+
+TEST(Models, ParamsDeterministic)
+{
+    const ModelConfig m = makeModel(ModelId::GCN, 64);
+    const ModelParams a = makeParams(m, 5);
+    const ModelParams b = makeParams(m, 5);
+    EXPECT_EQ(Matrix::maxAbsDiff(a.weights[0][0], b.weights[0][0]),
+              0.0f);
+    const ModelParams c = makeParams(m, 6);
+    EXPECT_NE(Matrix::maxAbsDiff(a.weights[0][0], c.weights[0][0]),
+              0.0f);
+}
+
+TEST(Models, FeaturesDeterministicAndInRange)
+{
+    const Matrix x = makeFeatures(50, 16, 3);
+    const Matrix y = makeFeatures(50, 16, 3);
+    EXPECT_EQ(Matrix::maxAbsDiff(x, y), 0.0f);
+    for (float v : x.data()) {
+        EXPECT_GE(v, 0.0f);
+        EXPECT_LT(v, 1.0f);
+    }
+}

@@ -1,0 +1,140 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "graph/generator.hpp"
+#include "graph/sampling.hpp"
+#include "sim/rng.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+Graph
+randomGraph(VertexId v, EdgeId e, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return Graph::fromEdges(v, generateUniform(v, e, rng), true);
+}
+
+} // namespace
+
+TEST(Sampling, MaxNeighborsCapsDegree)
+{
+    const Graph g = randomGraph(200, 3000, 1);
+    const EdgeSet s =
+        NeighborSampler::sampleMaxNeighbors(g.csc(), 5, 7);
+    for (VertexId v = 0; v < 200; ++v) {
+        EXPECT_LE(s.view().inDegree(v), 5u);
+        EXPECT_EQ(s.view().inDegree(v),
+                  std::min<EdgeId>(5, g.inDegree(v)));
+    }
+}
+
+TEST(Sampling, SampledAreSubsetAndSorted)
+{
+    const Graph g = randomGraph(100, 1000, 2);
+    const EdgeSet s =
+        NeighborSampler::sampleMaxNeighbors(g.csc(), 3, 9);
+    for (VertexId v = 0; v < 100; ++v) {
+        auto sampled = s.view().sources(v);
+        auto full = g.inNeighbors(v);
+        EXPECT_TRUE(std::is_sorted(sampled.begin(), sampled.end()));
+        for (VertexId u : sampled)
+            EXPECT_TRUE(std::binary_search(full.begin(), full.end(), u));
+        // No duplicates.
+        EXPECT_EQ(std::set<VertexId>(sampled.begin(), sampled.end())
+                      .size(),
+                  sampled.size());
+    }
+}
+
+TEST(Sampling, FactorOneKeepsEverything)
+{
+    const Graph g = randomGraph(50, 200, 3);
+    const EdgeSet s = NeighborSampler::sampleByFactor(g.csc(), 1, 7);
+    EXPECT_EQ(s.numEdges(), g.numEdges());
+}
+
+class FactorParam : public ::testing::TestWithParam<std::uint32_t>
+{
+};
+
+TEST_P(FactorParam, ByFactorKeepsCeilFraction)
+{
+    const std::uint32_t factor = GetParam();
+    const Graph g = randomGraph(150, 2000, 4);
+    const EdgeSet s =
+        NeighborSampler::sampleByFactor(g.csc(), factor, 7);
+    for (VertexId v = 0; v < 150; ++v) {
+        const EdgeId deg = g.inDegree(v);
+        EXPECT_EQ(s.view().inDegree(v), (deg + factor - 1) / factor);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Factors, FactorParam,
+                         ::testing::Values(1, 2, 4, 8, 16));
+
+TEST(Sampling, DeterministicForSeed)
+{
+    const Graph g = randomGraph(80, 800, 5);
+    const EdgeSet a =
+        NeighborSampler::sampleMaxNeighbors(g.csc(), 4, 11);
+    const EdgeSet b =
+        NeighborSampler::sampleMaxNeighbors(g.csc(), 4, 11);
+    for (VertexId v = 0; v < 80; ++v) {
+        auto sa = a.view().sources(v);
+        auto sb = b.view().sources(v);
+        ASSERT_EQ(sa.size(), sb.size());
+        for (std::size_t i = 0; i < sa.size(); ++i)
+            EXPECT_EQ(sa[i], sb[i]);
+    }
+}
+
+TEST(Sampling, SeedChangesSelection)
+{
+    const Graph g = randomGraph(80, 2000, 6);
+    const EdgeSet a =
+        NeighborSampler::sampleMaxNeighbors(g.csc(), 4, 11);
+    const EdgeSet b =
+        NeighborSampler::sampleMaxNeighbors(g.csc(), 4, 12);
+    bool differs = false;
+    for (VertexId v = 0; !differs && v < 80; ++v) {
+        auto sa = a.view().sources(v);
+        auto sb = b.view().sources(v);
+        differs = !std::equal(sa.begin(), sa.end(), sb.begin(),
+                              sb.end());
+    }
+    EXPECT_TRUE(differs);
+}
+
+TEST(Sampling, UniformityOverManySeeds)
+{
+    // Each of vertex 0's neighbors should be picked roughly equally
+    // often across seeds.
+    const Graph g = randomGraph(40, 500, 7);
+    const VertexId v = 0;
+    const auto nbrs = g.inNeighbors(v);
+    ASSERT_GE(nbrs.size(), 6u);
+    std::map<VertexId, int> counts;
+    constexpr int kTrials = 3000;
+    for (int seed = 0; seed < kTrials; ++seed) {
+        const EdgeSet s =
+            NeighborSampler::sampleMaxNeighbors(g.csc(), 1, seed);
+        counts[s.view().sources(v)[0]]++;
+    }
+    const double expected =
+        static_cast<double>(kTrials) / nbrs.size();
+    for (VertexId u : nbrs)
+        EXPECT_NEAR(counts[u], expected, expected * 0.5) << "u=" << u;
+}
+
+TEST(Sampling, ZeroArgumentsRejected)
+{
+    const Graph g = randomGraph(10, 20, 8);
+    EXPECT_THROW(NeighborSampler::sampleMaxNeighbors(g.csc(), 0, 1),
+                 std::invalid_argument);
+    EXPECT_THROW(NeighborSampler::sampleByFactor(g.csc(), 0, 1),
+                 std::invalid_argument);
+}

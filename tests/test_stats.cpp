@@ -1,0 +1,65 @@
+#include <gtest/gtest.h>
+
+#include "sim/stats.hpp"
+
+using namespace hygcn;
+
+TEST(StatGroup, StartsEmpty)
+{
+    StatGroup s;
+    EXPECT_EQ(s.get("anything"), 0u);
+    EXPECT_EQ(s.gauge("anything"), 0.0);
+    EXPECT_FALSE(s.has("anything"));
+}
+
+TEST(StatGroup, AddAccumulates)
+{
+    StatGroup s;
+    s.add("x");
+    s.add("x", 4);
+    EXPECT_EQ(s.get("x"), 5u);
+    EXPECT_TRUE(s.has("x"));
+}
+
+TEST(StatGroup, GaugeOverwrites)
+{
+    StatGroup s;
+    s.set("g", 1.5);
+    s.set("g", 2.5);
+    EXPECT_DOUBLE_EQ(s.gauge("g"), 2.5);
+}
+
+TEST(StatGroup, MergeAddsCountersAndOverwritesGauges)
+{
+    StatGroup a, b;
+    a.add("c", 3);
+    a.set("g", 1.0);
+    b.add("c", 4);
+    b.add("only_b", 1);
+    b.set("g", 9.0);
+    a.merge(b);
+    EXPECT_EQ(a.get("c"), 7u);
+    EXPECT_EQ(a.get("only_b"), 1u);
+    EXPECT_DOUBLE_EQ(a.gauge("g"), 9.0);
+}
+
+TEST(StatGroup, ClearDropsEverything)
+{
+    StatGroup s;
+    s.add("c", 10);
+    s.set("g", 3.0);
+    s.clear();
+    EXPECT_FALSE(s.has("c"));
+    EXPECT_FALSE(s.has("g"));
+}
+
+TEST(StatGroup, CountersIterable)
+{
+    StatGroup s;
+    s.add("a", 1);
+    s.add("b", 2);
+    std::uint64_t total = 0;
+    for (const auto &[name, v] : s.counters())
+        total += v;
+    EXPECT_EQ(total, 3u);
+}

@@ -1,0 +1,91 @@
+#include <gtest/gtest.h>
+
+#include "core/systolic.hpp"
+
+using namespace hygcn;
+
+TEST(Systolic, ZeroWorkZeroCost)
+{
+    const SystolicGeometry geom{4, 128};
+    EXPECT_EQ(systolicBatchCost(geom, 0, 128, 128, false).cycles, 0u);
+    EXPECT_EQ(systolicBatchCost(geom, 8, 0, 128, false).cycles, 0u);
+}
+
+TEST(Systolic, MacCountExact)
+{
+    const SystolicGeometry geom{4, 128};
+    const SystolicCost c = systolicBatchCost(geom, 10, 256, 128, false);
+    EXPECT_EQ(c.macs, 10ull * 256 * 128);
+}
+
+TEST(Systolic, WeightBytesStreamedOncePerBatch)
+{
+    const SystolicGeometry geom{4, 128};
+    const SystolicCost c = systolicBatchCost(geom, 10, 256, 128, false);
+    EXPECT_EQ(c.weightReadBytes, 256ull * 128 * 4);
+    const SystolicCost f = systolicBatchCost(geom, 10, 256, 128, true);
+    EXPECT_EQ(f.weightReadBytes, 0u);
+}
+
+TEST(Systolic, LargeGroupsApproachFullUtilization)
+{
+    const SystolicGeometry geom{4, 128};
+    const std::uint64_t g = 10000;
+    const SystolicCost c = systolicBatchCost(geom, g, 512, 128, false);
+    const double util =
+        static_cast<double>(c.macs) /
+        (static_cast<double>(c.cycles) * geom.pes());
+    EXPECT_GT(util, 0.9);
+    EXPECT_LE(util, 1.0 + 1e-9);
+}
+
+TEST(Systolic, TinyGroupsPayWeightSwapPenalty)
+{
+    const SystolicGeometry geom{4, 128};
+    const SystolicCost one = systolicBatchCost(geom, 1, 512, 128, false);
+    const SystolicCost four =
+        systolicBatchCost(geom, 4, 512, 128, false);
+    // 4 vertices in one pass cost the same tile cycles as 1 vertex
+    // (max(G, rows) with rows = 4).
+    EXPECT_EQ(one.cycles, four.cycles);
+}
+
+TEST(Systolic, CyclesScaleWithTiles)
+{
+    const SystolicGeometry geom{4, 128};
+    const SystolicCost a = systolicBatchCost(geom, 64, 128, 128, false);
+    const SystolicCost b = systolicBatchCost(geom, 64, 256, 128, false);
+    EXPECT_GT(b.cycles, a.cycles);
+    // Twice the input dim = twice the row tiles (minus shared fill).
+    EXPECT_NEAR(static_cast<double>(b.cycles - (geom.rows + geom.cols)),
+                2.0 * static_cast<double>(a.cycles -
+                                          (geom.rows + geom.cols)),
+                1.0);
+}
+
+class SystolicGeomParam
+    : public ::testing::TestWithParam<std::pair<std::uint32_t,
+                                                std::uint32_t>>
+{
+};
+
+TEST_P(SystolicGeomParam, MergedGeometrySameMacsFewerOrEqualCycles)
+{
+    // Merging modules (more rows) never increases cycles for the
+    // same batch — the basis of the cooperative mode.
+    auto [rows_small, rows_big] = GetParam();
+    const SystolicGeometry small{rows_small, 128};
+    const SystolicGeometry big{rows_big, 128};
+    const SystolicCost cs = systolicBatchCost(small, 512, 1024, 128,
+                                              false);
+    const SystolicCost cb = systolicBatchCost(big, 512, 1024, 128,
+                                              false);
+    EXPECT_EQ(cs.macs, cb.macs);
+    EXPECT_GE(cs.cycles, cb.cycles);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rows, SystolicGeomParam,
+    ::testing::Values(std::pair<std::uint32_t, std::uint32_t>{1, 4},
+                      std::pair<std::uint32_t, std::uint32_t>{4, 8},
+                      std::pair<std::uint32_t, std::uint32_t>{8, 32}));

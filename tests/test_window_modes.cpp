@@ -1,0 +1,108 @@
+#include <gtest/gtest.h>
+
+#include "graph/generator.hpp"
+#include "graph/sampling.hpp"
+#include "graph/window.hpp"
+#include "sim/rng.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+EdgeSet
+sparseEdges(VertexId v, EdgeId e, std::uint64_t seed)
+{
+    Rng rng(seed);
+    return EdgeSet::fromGraph(
+        Graph::fromEdges(v, generateUniform(v, e, rng), true), false);
+}
+
+} // namespace
+
+TEST(WindowModes, LoadOrderingGridGeSlideGeShrink)
+{
+    const EdgeSet es = sparseEdges(600, 400, 1);
+    for (VertexId height : {8u, 32u, 128u}) {
+        const auto grid = buildWindowPlan(es.view(), 200, height,
+                                          1 << 20, WindowMode::Grid);
+        const auto slide = buildWindowPlan(es.view(), 200, height,
+                                           1 << 20,
+                                           WindowMode::SlideOnly);
+        const auto shrink = buildWindowPlan(es.view(), 200, height,
+                                            1 << 20,
+                                            WindowMode::SlideShrink);
+        EXPECT_GE(grid.loadedRows, slide.loadedRows) << height;
+        EXPECT_GE(slide.loadedRows, shrink.loadedRows) << height;
+        // All three modes see every edge.
+        EXPECT_EQ(grid.totalEdges, es.numEdges());
+        EXPECT_EQ(slide.totalEdges, es.numEdges());
+        EXPECT_EQ(shrink.totalEdges, es.numEdges());
+    }
+}
+
+TEST(WindowModes, SlideOnlyKeepsFullHeight)
+{
+    // Single edge deep in the row space: SlideOnly loads a full
+    // window below it; SlideShrink loads exactly one row.
+    const EdgeSet es = EdgeSet::fromColumns(
+        64, [] {
+            std::vector<std::vector<VertexId>> cols(64);
+            cols[0] = {20};
+            return cols;
+        }());
+    const auto slide = buildWindowPlan(es.view(), 64, 16, 100,
+                                       WindowMode::SlideOnly);
+    const auto shrink = buildWindowPlan(es.view(), 64, 16, 100,
+                                        WindowMode::SlideShrink);
+    ASSERT_EQ(slide.intervals[0].windows.size(), 1u);
+    EXPECT_EQ(slide.intervals[0].windows[0].srcBegin, 20u);
+    EXPECT_EQ(slide.intervals[0].windows[0].srcEnd, 36u); // full 16
+    EXPECT_EQ(shrink.intervals[0].windows[0].srcEnd, 21u); // shrunk
+}
+
+TEST(WindowModes, SlideOnlyClampsAtGraphEnd)
+{
+    const EdgeSet es = EdgeSet::fromColumns(
+        10, [] {
+            std::vector<std::vector<VertexId>> cols(10);
+            cols[0] = {8};
+            return cols;
+        }());
+    const auto slide = buildWindowPlan(es.view(), 10, 16, 100,
+                                       WindowMode::SlideOnly);
+    EXPECT_EQ(slide.intervals[0].windows[0].srcEnd, 10u);
+}
+
+TEST(WindowModes, BoolOverloadMatchesEnum)
+{
+    const EdgeSet es = sparseEdges(300, 500, 2);
+    const auto a = buildWindowPlan(es.view(), 100, 16, 1 << 20, true);
+    const auto b = buildWindowPlan(es.view(), 100, 16, 1 << 20,
+                                   WindowMode::SlideShrink);
+    EXPECT_EQ(a.loadedRows, b.loadedRows);
+    const auto c = buildWindowPlan(es.view(), 100, 16, 1 << 20, false);
+    const auto d = buildWindowPlan(es.view(), 100, 16, 1 << 20,
+                                   WindowMode::Grid);
+    EXPECT_EQ(c.loadedRows, d.loadedRows);
+}
+
+TEST(WindowModes, SamplerIndexIntervalDeterministic)
+{
+    Rng rng(3);
+    const Graph g =
+        Graph::fromEdges(100, generateUniform(100, 800, rng), true);
+    const EdgeSet a =
+        NeighborSampler::sampleByIndexInterval(g.csc(), 3);
+    const EdgeSet b =
+        NeighborSampler::sampleByIndexInterval(g.csc(), 3);
+    EXPECT_EQ(a.numEdges(), b.numEdges());
+    for (VertexId v = 0; v < 100; ++v) {
+        const EdgeId deg = g.inDegree(v);
+        EXPECT_EQ(a.view().inDegree(v), (deg + 2) / 3);
+        // Kept edges are every 3rd of the sorted neighbor list.
+        auto kept = a.view().sources(v);
+        auto full = g.inNeighbors(v);
+        for (std::size_t i = 0; i < kept.size(); ++i)
+            EXPECT_EQ(kept[i], full[i * 3]);
+    }
+}
