@@ -68,13 +68,13 @@ main()
                 "to vertex-disperse (%%)\n");
     header("dataset", {"concentr %"});
     for (DatasetId ds : datasets) {
-        HyGCNConfig disperse;
-        HyGCNConfig concentrated;
-        concentrated.aggMode = AggMode::VertexConcentrated;
-        const double td =
-            runHyGCN(ModelId::GCN, ds, disperse).seconds();
-        const double tc =
-            runHyGCN(ModelId::GCN, ds, concentrated).seconds();
+        const auto runs = session()
+                              .model(ModelId::GCN)
+                              .dataset(ds)
+                              .vary("aggMode", {0.0, 1.0})
+                              .runAll();
+        const double td = runs[0].report.seconds();
+        const double tc = runs[1].report.seconds();
         row(datasetAbbrev(ds), {tc / td * 100.0});
     }
 
@@ -83,11 +83,13 @@ main()
                 "reorder-only and remap-only\n");
     header("dataset", {"both", "none"});
     for (DatasetId ds : datasets) {
-        HyGCNConfig both;
-        HyGCNConfig none;
-        none.memoryCoordination = false;
-        const double tb = runHyGCN(ModelId::GCN, ds, both).seconds();
-        const double tn = runHyGCN(ModelId::GCN, ds, none).seconds();
+        const auto runs = session()
+                              .model(ModelId::GCN)
+                              .dataset(ds)
+                              .vary("memoryCoordination", {1.0, 0.0})
+                              .runAll();
+        const double tb = runs[0].report.seconds();
+        const double tn = runs[1].report.seconds();
         row(datasetAbbrev(ds), {100.0, tn / tb * 100.0});
     }
 

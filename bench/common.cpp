@@ -1,13 +1,11 @@
 #include "bench/common.hpp"
 
+#include <algorithm>
 #include <cstdio>
 #include <map>
 
-#include "core/aggregation_engine.hpp"
-#include "graph/partition.hpp"
-#include "graph/sampling.hpp"
-#include "graph/window.hpp"
-#include "model/layer.hpp"
+#include "api/dataset_cache.hpp"
+#include "baseline/gpu_model.hpp"
 
 namespace hygcn::bench {
 
@@ -24,120 +22,30 @@ diffpoolDatasets()
     return {DatasetId::IB, DatasetId::CL};
 }
 
+api::Session
+session()
+{
+    api::Session s;
+    s.seed(kSeed);
+    return s;
+}
+
+SimReport
+report(const std::string &platform, ModelId m, DatasetId ds)
+{
+    return session().platform(platform).model(m).dataset(ds).report();
+}
+
 const Dataset &
 dataset(DatasetId id)
 {
-    static std::map<DatasetId, Dataset> cache;
-    auto it = cache.find(id);
-    if (it == cache.end())
-        it = cache.emplace(id, makeDatasetScaledDefault(id, 1)).first;
-    return it->second;
+    return api::DatasetCache::global().get(id);
 }
 
 ModelConfig
 model(ModelId id, DatasetId ds)
 {
     return makeModel(id, dataset(ds).featureLen);
-}
-
-SimReport
-runHyGCN(ModelId m, DatasetId ds, const HyGCNConfig &config)
-{
-    return runHyGCNFull(m, ds, config).report;
-}
-
-AcceleratorResult
-runHyGCNFull(ModelId m, DatasetId ds, const HyGCNConfig &config)
-{
-    const Dataset &data = dataset(ds);
-    const ModelConfig mc = model(m, ds);
-    const ModelParams params = makeParams(mc, kSeed);
-    HyGCNAccelerator accel(config);
-    return accel.run(data, mc, params, nullptr, kSeed);
-}
-
-SimReport
-runCpu(ModelId m, DatasetId ds, bool partition_optimized)
-{
-    CpuModel cpu;
-    CpuRunOptions options;
-    options.partitionOptimized = partition_optimized;
-    return cpu.run(dataset(ds), model(m, ds), kSeed, options);
-}
-
-SimReport
-runGpu(ModelId m, DatasetId ds, bool partition_optimized)
-{
-    GpuModel gpu;
-    GpuRunOptions options;
-    options.partitionOptimized = partition_optimized;
-    return gpu.run(dataset(ds), model(m, ds), kSeed, options);
-}
-
-AggOnlyResult
-runAggregationOnly(DatasetId dataset_id, bool eliminate,
-                   std::uint32_t sample_factor,
-                   std::uint64_t agg_buf_bytes)
-{
-    const Dataset &data = dataset(dataset_id);
-    HyGCNConfig config;
-    if (agg_buf_bytes > 0)
-        config.aggBufBytes = agg_buf_bytes;
-    config.sparsityElimination = eliminate;
-
-    HbmModel hbm(config.effectiveHbm());
-    MemoryCoordinator coord(hbm, config.effectiveCoordinator());
-    EnergyLedger ledger;
-    StatGroup stats;
-    AggregationEngine engine(config, coord, ledger, stats);
-
-    // First-layer GCN aggregation: full feature length, self loops.
-    LayerConfig layer;
-    layer.inFeatures = data.featureLen;
-    layer.mlpDims = {128};
-    EdgeSet edges = EdgeSet::fromGraph(data.graph, true);
-    if (sample_factor > 1) {
-        EdgeSet sampled = NeighborSampler::sampleByFactor(
-            data.graph.csc(), sample_factor, kSeed);
-        edges = EdgeSet::fromView(sampled.view(), true);
-    }
-
-    PartitionConfig pc;
-    pc.aggBufBytes = config.aggBufBytes;
-    pc.inputBufBytes = config.inputBufBytes;
-    pc.edgeBufBytes = config.edgeBufBytes;
-    pc.aggFeatureLen = data.featureLen;
-    pc.srcFeatureLen = data.featureLen;
-    const PartitionDims dims = computePartitionDims(pc);
-    const WindowPlan plan =
-        buildWindowPlan(edges.view(), dims.intervalSize,
-                        dims.windowHeight, dims.maxEdgesPerWindow,
-                        eliminate);
-
-    const AddressMap amap;
-    const EdgeCoefFn one(EdgeCoefKind::One, {}, 0.0f);
-    Cycle now = 0;
-    for (const IntervalWork &work : plan.intervals) {
-        const AggIntervalTiming t = engine.processInterval(
-            edges.view(), work, data.featureLen, AggOp::Add, one,
-            nullptr, nullptr, nullptr, now, amap);
-        now = t.finish;
-    }
-
-    AggOnlyResult result;
-    result.seconds = static_cast<double>(now) / config.clockHz;
-    result.dramBytes = hbm.stats().get("dram.read_bytes") +
-                       hbm.stats().get("dram.write_bytes");
-    // Reduction relative to the grid plan at the same geometry.
-    const WindowPlan grid =
-        buildWindowPlan(edges.view(), dims.intervalSize,
-                        dims.windowHeight, dims.maxEdgesPerWindow, false);
-    result.sparsityReduction =
-        grid.loadedRows > 0
-            ? 1.0 - static_cast<double>(plan.loadedRows) /
-                        static_cast<double>(grid.loadedRows)
-            : 0.0;
-    return result;
 }
 
 bool

@@ -1,8 +1,10 @@
 /**
  * @file
- * Shared helpers for the benchmark harnesses: cached dataset
- * construction at the default benchmarking scale, platform runners,
- * and table formatting matching the paper's figures.
+ * Shared helpers for the benchmark harnesses: the pre-seeded Session
+ * every harness starts from, cached dataset access at the default
+ * benchmarking scale, and table formatting matching the paper's
+ * figures. All execution goes through the unified Platform API
+ * (api/session.hpp); there are no per-backend entry points here.
  */
 
 #ifndef HYGCN_BENCH_COMMON_HPP
@@ -11,9 +13,7 @@
 #include <string>
 #include <vector>
 
-#include "baseline/cpu_model.hpp"
-#include "baseline/gpu_model.hpp"
-#include "core/accelerator.hpp"
+#include "api/session.hpp"
 #include "graph/dataset.hpp"
 #include "model/models.hpp"
 
@@ -28,46 +28,17 @@ std::vector<DatasetId> figureDatasets();
 /** Datasets DiffPool is evaluated on (paper: IB and CL only). */
 std::vector<DatasetId> diffpoolDatasets();
 
+/** A Session pre-seeded with kSeed — the start of every harness run. */
+api::Session session();
+
+/** One kSeed timing run of (platform, model, dataset) through the API. */
+SimReport report(const std::string &platform, ModelId m, DatasetId ds);
+
 /** Cached dataset at the default benchmarking scale. */
 const Dataset &dataset(DatasetId id);
 
 /** Cached model configuration for (model, dataset). */
 ModelConfig model(ModelId id, DatasetId ds);
-
-/** Run HyGCN (timing-only) with @p config. */
-SimReport runHyGCN(ModelId m, DatasetId ds,
-                   const HyGCNConfig &config = HyGCNConfig{});
-
-/** Full accelerator result (for vertex latency etc.). */
-AcceleratorResult runHyGCNFull(ModelId m, DatasetId ds,
-                               const HyGCNConfig &config = HyGCNConfig{});
-
-/** Run the PyG-CPU model (naive or partition-optimized). */
-SimReport runCpu(ModelId m, DatasetId ds, bool partition_optimized);
-
-/** Run the PyG-GPU model (naive or partition-optimized). */
-SimReport runGpu(ModelId m, DatasetId ds, bool partition_optimized);
-
-/** Result of an Aggregation-Engine-only pass (Fig 15/18 studies). */
-struct AggOnlyResult
-{
-    double seconds = 0.0;
-    std::uint64_t dramBytes = 0;
-    double sparsityReduction = 0.0;
-};
-
-/**
- * Run only the Aggregation Engine over the first GCN layer of
- * @p dataset_id (the methodology of Fig 15: "runs only Aggregation
- * Engine to avoid the interference of other blocks").
- *
- * @param eliminate Window sliding/shrinking on or off.
- * @param sample_factor Keep 1/factor of each vertex's edges (1=all).
- * @param agg_buf_bytes Aggregation Buffer capacity (0 = default).
- */
-AggOnlyResult runAggregationOnly(DatasetId dataset_id, bool eliminate,
-                                 std::uint32_t sample_factor = 1,
-                                 std::uint64_t agg_buf_bytes = 0);
 
 /**
  * True if the *full-size* (Table 4) dataset would exceed V100 memory

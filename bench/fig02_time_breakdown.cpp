@@ -30,7 +30,7 @@ main()
     header("model/dataset", {"Agg %", "Comb %"});
     for (ModelId m : models) {
         for (DatasetId ds : datasets) {
-            const SimReport r = runCpu(m, ds, false);
+            const SimReport r = report("pyg-cpu", m, ds);
             const double agg = r.stats.gauge("phase.agg_fraction");
             row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
                 {agg * 100.0, (1.0 - agg) * 100.0});

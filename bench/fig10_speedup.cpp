@@ -12,6 +12,7 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench/common.hpp"
 
@@ -24,6 +25,12 @@ std::vector<DatasetId>
 datasetsFor(ModelId m)
 {
     return m == ModelId::DFP ? diffpoolDatasets() : figureDatasets();
+}
+
+double
+seconds(const std::string &platform, ModelId m, DatasetId ds)
+{
+    return report(platform, m, ds).seconds();
 }
 
 } // namespace
@@ -40,8 +47,8 @@ main()
     int n_a = 0;
     for (ModelId m : allModels()) {
         for (DatasetId ds : datasetsFor(m)) {
-            const double naive = runCpu(m, ds, false).seconds();
-            const double opt = runCpu(m, ds, true).seconds();
+            const double naive = seconds("pyg-cpu", m, ds);
+            const double opt = seconds("pyg-cpu-part", m, ds);
             const double s = naive / opt;
             row(modelAbbrev(m) + "/" + datasetAbbrev(ds), {s});
             geo_a += s;
@@ -63,8 +70,8 @@ main()
                             "OoM");
                 continue;
             }
-            const double naive = runGpu(m, ds, false).seconds();
-            const double opt = runGpu(m, ds, true).seconds();
+            const double naive = seconds("pyg-gpu", m, ds);
+            const double opt = seconds("pyg-gpu-part", m, ds);
             row(modelAbbrev(m) + "/" + datasetAbbrev(ds), {naive / opt});
         }
     }
@@ -77,8 +84,8 @@ main()
     int n_cpu = 0, n_gpu = 0;
     for (ModelId m : allModels()) {
         for (DatasetId ds : datasetsFor(m)) {
-            const double h = runHyGCN(m, ds).seconds();
-            const double cpu = runCpu(m, ds, true).seconds();
+            const double h = seconds("hygcn", m, ds);
+            const double cpu = seconds("pyg-cpu-part", m, ds);
             const double s_cpu = cpu / h;
             sum_cpu += s_cpu;
             ++n_cpu;
@@ -89,7 +96,7 @@ main()
                             s_cpu, "OoM");
                 continue;
             }
-            const double gpu = runGpu(m, ds, false).seconds();
+            const double gpu = seconds("pyg-gpu", m, ds);
             const double s_gpu = gpu / h;
             sum_gpu += s_gpu;
             ++n_gpu;

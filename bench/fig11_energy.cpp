@@ -6,11 +6,22 @@
  */
 
 #include <cstdio>
+#include <string>
 
 #include "bench/common.hpp"
 
 using namespace hygcn;
 using namespace hygcn::bench;
+
+namespace {
+
+double
+joules(const std::string &platform, ModelId m, DatasetId ds)
+{
+    return report(platform, m, ds).joules();
+}
+
+} // namespace
 
 int
 main()
@@ -24,8 +35,8 @@ main()
         const auto dss = m == ModelId::DFP ? diffpoolDatasets()
                                            : figureDatasets();
         for (DatasetId ds : dss) {
-            const double cpu = runCpu(m, ds, true).joules();
-            const double h = runHyGCN(m, ds).joules();
+            const double cpu = joules("pyg-cpu-part", m, ds);
+            const double h = joules("hygcn", m, ds);
             sum_h += h / cpu * 100.0;
             ++n;
             if (gpuWouldOomFullSize(m, ds)) {
@@ -35,7 +46,7 @@ main()
                             "OoM", h / cpu * 100.0);
                 continue;
             }
-            const double gpu = runGpu(m, ds, false).joules();
+            const double gpu = joules("pyg-gpu", m, ds);
             sum_hg += h / gpu * 100.0;
             ++ng;
             row(modelAbbrev(m) + "/" + datasetAbbrev(ds),

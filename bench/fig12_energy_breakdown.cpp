@@ -23,7 +23,7 @@ main()
         const auto dss = m == ModelId::DFP ? diffpoolDatasets()
                                            : figureDatasets();
         for (DatasetId ds : dss) {
-            const SimReport r = runHyGCN(m, ds);
+            const SimReport r = report("hygcn", m, ds);
             const double agg = r.energy.component("agg_engine");
             const double comb = r.energy.component("comb_engine");
             const double coord = r.energy.component("coordinator");

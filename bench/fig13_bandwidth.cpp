@@ -8,6 +8,7 @@
 
 #include <cstdio>
 
+#include "baseline/cpu_model.hpp"
 #include "bench/common.hpp"
 
 using namespace hygcn;
@@ -26,8 +27,8 @@ main()
         const auto dss = m == ModelId::DFP ? diffpoolDatasets()
                                            : figureDatasets();
         for (DatasetId ds : dss) {
-            const SimReport c = runCpu(m, ds, true);
-            const SimReport h = runHyGCN(m, ds);
+            const SimReport c = report("pyg-cpu-part", m, ds);
+            const SimReport h = report("hygcn", m, ds);
             const double uc =
                 c.bandwidthUtilization(cpu_cfg.ddrBytesPerSec) * 100.0;
             const double uh =
@@ -41,7 +42,7 @@ main()
                             uc, "OoM", uh);
                 continue;
             }
-            const SimReport g = runGpu(m, ds, false);
+            const SimReport g = report("pyg-gpu", m, ds);
             const double ug =
                 g.stats.gauge("gpu.bandwidth_utilization") * 100.0;
             rg += uh / std::max(ug, 1e-9);

@@ -26,10 +26,10 @@ main()
         const auto dss = m == ModelId::DFP ? diffpoolDatasets()
                                            : figureDatasets();
         for (DatasetId ds : dss) {
-            const double cpu =
-                static_cast<double>(runCpu(m, ds, true).dramBytes());
-            const double h =
-                static_cast<double>(runHyGCN(m, ds).dramBytes());
+            const double cpu = static_cast<double>(
+                report("pyg-cpu-part", m, ds).dramBytes());
+            const double h = static_cast<double>(
+                report("hygcn", m, ds).dramBytes());
             sum_c += h / cpu * 100.0;
             ++n;
             if (gpuWouldOomFullSize(m, ds)) {
@@ -39,8 +39,8 @@ main()
                             "OoM", h / cpu * 100.0);
                 continue;
             }
-            const double gpu =
-                static_cast<double>(runGpu(m, ds, false).dramBytes());
+            const double gpu = static_cast<double>(
+                report("pyg-gpu", m, ds).dramBytes());
             sum_g += h / gpu * 100.0;
             ++ng;
             row(modelAbbrev(m) + "/" + datasetAbbrev(ds),

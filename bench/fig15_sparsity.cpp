@@ -24,14 +24,19 @@ main()
 
     header("dataset", {"time %", "DRAM %", "spars red %", "speedup"});
     for (DatasetId ds : datasets) {
-        const AggOnlyResult off = runAggregationOnly(ds, false);
-        const AggOnlyResult on = runAggregationOnly(ds, true);
+        const auto runs = session()
+                              .platform("hygcn-agg")
+                              .dataset(ds)
+                              .vary("sparsityElimination", {0.0, 1.0})
+                              .runAll();
+        const SimReport &off = runs[0].report;
+        const SimReport &on = runs[1].report;
         row(datasetAbbrev(ds),
-            {on.seconds / off.seconds * 100.0,
-             static_cast<double>(on.dramBytes) /
-                 static_cast<double>(off.dramBytes) * 100.0,
-             on.sparsityReduction * 100.0,
-             off.seconds / on.seconds});
+            {on.seconds() / off.seconds() * 100.0,
+             static_cast<double>(on.dramBytes()) /
+                 static_cast<double>(off.dramBytes()) * 100.0,
+             on.stats.gauge("agg.sparsity_reduction") * 100.0,
+             off.seconds() / on.seconds()});
     }
     std::printf("paper: 1.1-3x speedup; normalized time/DRAM < 100%%\n");
     return 0;

@@ -30,11 +30,13 @@ main()
     std::printf("\n(a,b) pipelined (PP) vs phase-by-phase (N-PP)\n");
     header("dataset", {"time %", "DRAM %"});
     for (DatasetId ds : datasets) {
-        HyGCNConfig pp;
-        HyGCNConfig npp;
-        npp.interEnginePipeline = false;
-        const SimReport rp = runHyGCN(ModelId::GCN, ds, pp);
-        const SimReport rn = runHyGCN(ModelId::GCN, ds, npp);
+        const auto runs = session()
+                              .model(ModelId::GCN)
+                              .dataset(ds)
+                              .vary("interEnginePipeline", {1.0, 0.0})
+                              .runAll();
+        const SimReport &rp = runs[0].report;
+        const SimReport &rn = runs[1].report;
         row(datasetAbbrev(ds),
             {rp.seconds() / rn.seconds() * 100.0,
              static_cast<double>(rp.dramBytes()) /
@@ -45,14 +47,13 @@ main()
     std::printf("\n(c,d) latency-aware vs energy-aware pipeline\n");
     header("dataset", {"Lpipe lat%", "Epipe en%"});
     for (DatasetId ds : datasets) {
-        HyGCNConfig lcfg;
-        lcfg.pipelineMode = PipelineMode::LatencyAware;
-        HyGCNConfig ecfg;
-        ecfg.pipelineMode = PipelineMode::EnergyAware;
-        const AcceleratorResult rl =
-            runHyGCNFull(ModelId::GCN, ds, lcfg);
-        const AcceleratorResult re =
-            runHyGCNFull(ModelId::GCN, ds, ecfg);
+        const auto runs = session()
+                              .model(ModelId::GCN)
+                              .dataset(ds)
+                              .vary("pipelineMode", {0.0, 1.0})
+                              .runAll();
+        const api::RunResult &rl = runs[0];
+        const api::RunResult &re = runs[1];
         const double lat_ratio =
             rl.avgVertexLatency / re.avgVertexLatency * 100.0;
         const double energy_ratio =

@@ -24,11 +24,13 @@ main()
     header("dataset", {"time %", "BW boost x"});
     double tsum = 0.0, bsum = 0.0;
     for (DatasetId ds : datasets) {
-        HyGCNConfig on;
-        HyGCNConfig off;
-        off.memoryCoordination = false;
-        const SimReport r_on = runHyGCN(ModelId::GCN, ds, on);
-        const SimReport r_off = runHyGCN(ModelId::GCN, ds, off);
+        const auto runs = session()
+                              .model(ModelId::GCN)
+                              .dataset(ds)
+                              .vary("memoryCoordination", {1.0, 0.0})
+                              .runAll();
+        const SimReport &r_on = runs[0].report;
+        const SimReport &r_off = runs[1].report;
         const double t = r_on.seconds() / r_off.seconds() * 100.0;
         const double b =
             r_on.stats.gauge("dram.bandwidth_utilization") /

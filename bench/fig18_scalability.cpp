@@ -33,14 +33,21 @@ main()
                 "factor 1)\n");
     header("dataset/factor", {"time %", "DRAM %", "spars red %"});
     for (DatasetId ds : datasets) {
-        const AggOnlyResult base = runAggregationOnly(ds, true, 1);
-        for (std::uint32_t factor : {1u, 2u, 4u, 8u, 16u}) {
-            const AggOnlyResult r = runAggregationOnly(ds, true, factor);
-            row(datasetAbbrev(ds) + "/" + std::to_string(factor),
-                {r.seconds / base.seconds * 100.0,
-                 static_cast<double>(r.dramBytes) /
-                     static_cast<double>(base.dramBytes) * 100.0,
-                 r.sparsityReduction * 100.0});
+        const auto runs =
+            session()
+                .platform("hygcn-agg")
+                .dataset(ds)
+                .vary("sampleFactor", {1.0, 2.0, 4.0, 8.0, 16.0})
+                .runAll();
+        const SimReport &base = runs[0].report;
+        for (const api::RunResult &r : runs) {
+            row(datasetAbbrev(ds) + "/" +
+                    std::to_string(r.spec.sampleFactor),
+                {r.report.seconds() / base.seconds() * 100.0,
+                 static_cast<double>(r.report.dramBytes()) /
+                     static_cast<double>(base.dramBytes()) * 100.0,
+                 r.report.stats.gauge("agg.sparsity_reduction") *
+                     100.0});
         }
     }
 
@@ -48,16 +55,24 @@ main()
     std::printf("\n(d-f) Aggregation Buffer sweep (normalized to 2 MB)\n");
     header("dataset/MB", {"time %", "DRAM %", "spars red %"});
     for (DatasetId ds : datasets) {
-        const AggOnlyResult base =
-            runAggregationOnly(ds, true, 1, 2ull << 20);
-        for (std::uint64_t mb : {2ull, 4ull, 8ull, 16ull, 32ull}) {
-            const AggOnlyResult r =
-                runAggregationOnly(ds, true, 1, mb << 20);
-            row(datasetAbbrev(ds) + "/" + std::to_string(mb),
-                {r.seconds / base.seconds * 100.0,
-                 static_cast<double>(r.dramBytes) /
-                     static_cast<double>(base.dramBytes) * 100.0,
-                 r.sparsityReduction * 100.0});
+        const auto runs =
+            session()
+                .platform("hygcn-agg")
+                .dataset(ds)
+                .vary("aggBufBytes",
+                      {2.0 * (1 << 20), 4.0 * (1 << 20),
+                       8.0 * (1 << 20), 16.0 * (1 << 20),
+                       32.0 * (1 << 20)})
+                .runAll();
+        const SimReport &base = runs[0].report;
+        for (const api::RunResult &r : runs) {
+            row(datasetAbbrev(ds) + "/" +
+                    std::to_string(r.spec.hygcn.aggBufBytes >> 20),
+                {r.report.seconds() / base.seconds() * 100.0,
+                 static_cast<double>(r.report.dramBytes()) /
+                     static_cast<double>(base.dramBytes()) * 100.0,
+                 r.report.stats.gauge("agg.sparsity_reduction") *
+                     100.0});
         }
     }
 
@@ -66,22 +81,21 @@ main()
                 "arrays total; normalized to 32 modules)\n");
     header("dataset/modules", {"latency %", "CombE en %"});
     for (DatasetId ds : datasets) {
-        double base_lat = 0.0, base_energy = 0.0;
-        for (std::uint32_t modules : {32u, 16u, 8u, 4u, 2u, 1u}) {
-            HyGCNConfig config;
-            config.systolicModules = modules;
-            config.moduleRows = 32 / modules;
-            const AcceleratorResult r =
-                runHyGCNFull(ModelId::GSC, ds, config);
-            const double lat = r.avgVertexLatency;
-            const double en =
-                r.report.energy.component("comb_engine");
-            if (modules == 32) {
-                base_lat = lat;
-                base_energy = en;
-            }
-            row(datasetAbbrev(ds) + "/" + std::to_string(modules),
-                {lat / base_lat * 100.0, en / base_energy * 100.0});
+        const auto runs =
+            session()
+                .model(ModelId::GSC)
+                .dataset(ds)
+                .vary("moduleBudget", {32.0, 16.0, 8.0, 4.0, 2.0, 1.0})
+                .runAll();
+        const double base_lat = runs[0].avgVertexLatency;
+        const double base_energy =
+            runs[0].report.energy.component("comb_engine");
+        for (const api::RunResult &r : runs) {
+            row(datasetAbbrev(ds) + "/" +
+                    std::to_string(r.spec.hygcn.systolicModules),
+                {r.avgVertexLatency / base_lat * 100.0,
+                 r.report.energy.component("comb_engine") /
+                     base_energy * 100.0});
         }
     }
     std::printf("paper trend: coarser modules -> higher vertex latency, "

@@ -18,7 +18,7 @@ main()
 {
     banner("Table 2", "CPU characterization of GCN on COLLAB (CL)");
 
-    const SimReport r = runCpu(ModelId::GCN, DatasetId::CL, false);
+    const SimReport r = report("pyg-cpu", ModelId::GCN, DatasetId::CL);
 
     header("metric", {"Agg", "Comb"});
     row("DRAM bytes per op", {r.stats.gauge("cpu.agg_bytes_per_op"),

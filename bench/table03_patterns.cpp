@@ -19,7 +19,8 @@ main()
 {
     banner("Table 3", "Hybrid execution patterns (measured on GCN/CL)");
 
-    const SimReport cpu = runCpu(ModelId::GCN, DatasetId::CL, false);
+    const SimReport cpu =
+        report("pyg-cpu", ModelId::GCN, DatasetId::CL);
 
     const double agg_bpo = cpu.stats.gauge("cpu.agg_bytes_per_op");
     const double comb_bpo = cpu.stats.gauge("cpu.comb_bytes_per_op");

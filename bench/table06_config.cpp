@@ -6,6 +6,8 @@
 
 #include <cstdio>
 
+#include "baseline/cpu_model.hpp"
+#include "baseline/gpu_model.hpp"
 #include "bench/common.hpp"
 
 using namespace hygcn;

@@ -1,85 +1,77 @@
 /**
  * @file
- * Design-space exploration with the simulator — the workflow a
- * hardware architect would use this library for. Sweeps the two
- * levers the paper studies in Fig 18 (Aggregation Buffer capacity
- * and systolic module granularity) plus the pipeline mode, on
- * Pubmed/GCN, and prints a time/energy table with the Pareto points
- * marked.
+ * Design-space exploration with the unified Platform API — the
+ * workflow a hardware architect would use this library for. One
+ * Session describes the whole cartesian sweep over the two levers the
+ * paper studies in Fig 18 (Aggregation Buffer capacity and systolic
+ * module granularity) plus the pipeline mode, on Pubmed/GCN; runAll()
+ * executes it on a worker pool, and the results print as a
+ * time/energy table with the Pareto points marked. Pass --json to
+ * also dump the sweep as a JSON array for plotting scripts.
  */
 
 #include <cstdio>
+#include <cstring>
 #include <vector>
 
-#include "core/accelerator.hpp"
+#include "api/session.hpp"
 #include "core/area_power.hpp"
-#include "graph/dataset.hpp"
-#include "model/models.hpp"
+#include "sim/json.hpp"
 
 using namespace hygcn;
-
-namespace {
-
-struct DesignPoint
-{
-    std::string name;
-    double seconds;
-    double joules;
-    double areaMm2;
-};
-
-} // namespace
+using namespace hygcn::api;
 
 int
-main()
+main(int argc, char **argv)
 {
-    const Dataset dataset = makeDataset(DatasetId::PB, 1);
-    const ModelConfig model = makeModel(ModelId::GCN, dataset.featureLen);
-    const ModelParams params = makeParams(model, 21);
+    const bool emit_json =
+        argc > 1 && std::strcmp(argv[1], "--json") == 0;
 
-    std::vector<DesignPoint> points;
-    for (std::uint64_t agg_mb : {4ull, 16ull, 32ull}) {
-        for (std::uint32_t modules : {32u, 8u, 1u}) {
-            for (PipelineMode mode : {PipelineMode::LatencyAware,
-                                      PipelineMode::EnergyAware}) {
-                HyGCNConfig config;
-                config.aggBufBytes = agg_mb << 20;
-                config.systolicModules = modules;
-                config.moduleRows = 32 / modules;
-                config.pipelineMode = mode;
-
-                HyGCNAccelerator accel(config);
-                const AcceleratorResult r =
-                    accel.run(dataset, model, params, nullptr, 7);
-                const AreaPowerBreakdown ap = computeAreaPower(config);
-
-                char name[64];
-                std::snprintf(name, sizeof(name), "agg=%lluMB m=%2u %s",
-                              static_cast<unsigned long long>(agg_mb),
-                              modules,
-                              mode == PipelineMode::LatencyAware ? "L"
-                                                                 : "E");
-                points.push_back({name, r.report.seconds(),
-                                  r.report.joules(), ap.totalAreaMm2()});
-            }
-        }
-    }
+    // The full-size Pubmed stand-in (scale 1.0), GCN, 18 design
+    // points: 3 buffer capacities x 3 module granularities at the
+    // fixed 32x128 PE budget x 2 pipeline flavors.
+    const std::vector<RunResult> results =
+        Session()
+            .platform("hygcn")
+            .model(ModelId::GCN)
+            .dataset(DatasetId::PB)
+            .datasetScale(1.0)
+            .seed(21)
+            .vary("aggBufBytes",
+                  {4.0 * (1 << 20), 16.0 * (1 << 20), 32.0 * (1 << 20)})
+            .vary("moduleBudget", {32.0, 8.0, 1.0})
+            .vary("pipelineMode", {0.0, 1.0})
+            .runAll();
 
     // Mark time/energy Pareto-optimal configurations.
-    std::printf("%-22s%12s%12s%10s  %s\n", "configuration", "time",
+    std::printf("%-26s%12s%12s%10s  %s\n", "configuration", "time",
                 "energy", "area", "pareto");
-    for (const DesignPoint &p : points) {
+    for (const RunResult &p : results) {
         bool dominated = false;
-        for (const DesignPoint &q : points) {
-            if (q.seconds < p.seconds && q.joules < p.joules) {
+        for (const RunResult &q : results) {
+            if (q.report.seconds() < p.report.seconds() &&
+                q.report.joules() < p.report.joules()) {
                 dominated = true;
                 break;
             }
         }
-        std::printf("%-22s%12s%12s%8.2fmm2  %s\n", p.name.c_str(),
-                    formatSeconds(p.seconds).c_str(),
-                    formatJoules(p.joules).c_str(), p.areaMm2,
-                    dominated ? "" : "*");
+        const AreaPowerBreakdown ap = computeAreaPower(p.spec.hygcn);
+        char name[64];
+        std::snprintf(
+            name, sizeof(name), "agg=%lluMB m=%2u %s",
+            static_cast<unsigned long long>(p.spec.hygcn.aggBufBytes >>
+                                            20),
+            p.spec.hygcn.systolicModules,
+            p.spec.hygcn.pipelineMode == PipelineMode::LatencyAware
+                ? "L"
+                : "E");
+        std::printf("%-26s%12s%12s%8.2fmm2  %s\n", name,
+                    formatSeconds(p.report.seconds()).c_str(),
+                    formatJoules(p.report.joules()).c_str(),
+                    ap.totalAreaMm2(), dominated ? "" : "*");
     }
+
+    if (emit_json)
+        std::printf("%s\n", toJson(results).c_str());
     return 0;
 }

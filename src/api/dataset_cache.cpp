@@ -1,0 +1,53 @@
+#include "api/dataset_cache.hpp"
+
+namespace hygcn::api {
+
+const Dataset &
+DatasetCache::get(DatasetId id, double scale, std::uint64_t seed)
+{
+    const double norm_scale = scale <= 0.0 ? 0.0 : scale;
+    const Key key{static_cast<int>(id), norm_scale, seed};
+
+    // The map mutex only guards slot lookup/creation; generation
+    // itself runs under the slot's once_flag so workers needing a
+    // *different* dataset are never blocked behind a slow build
+    // (Reddit takes seconds), while first-touch of the *same*
+    // dataset still constructs exactly one copy.
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, std::make_shared<Entry>()).first;
+        entry = it->second;
+    }
+    std::call_once(entry->once, [&] {
+        entry->data = std::make_unique<Dataset>(
+            norm_scale == 0.0 ? makeDatasetScaledDefault(id, seed)
+                              : makeDataset(id, seed, norm_scale));
+    });
+    return *entry->data;
+}
+
+void
+DatasetCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+}
+
+std::size_t
+DatasetCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+DatasetCache &
+DatasetCache::global()
+{
+    static DatasetCache cache;
+    return cache;
+}
+
+} // namespace hygcn::api

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Thread-safe, process-wide dataset cache. Synthetic benchmark
+ * datasets are expensive to generate (Reddit takes seconds), so
+ * every consumer — bench harnesses, parallel sweeps, tests — shares
+ * one cache keyed by (dataset, scale, seed). References returned by
+ * get() stay valid for the lifetime of the cache.
+ */
+
+#ifndef HYGCN_API_DATASET_CACHE_HPP
+#define HYGCN_API_DATASET_CACHE_HPP
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <tuple>
+
+#include "graph/dataset.hpp"
+
+namespace hygcn::api {
+
+/** Mutex-guarded lazy dataset store. */
+class DatasetCache
+{
+  public:
+    /**
+     * Dataset @p id at @p scale (<= 0 selects the default
+     * benchmarking scale) generated with @p seed, constructing and
+     * caching it on first touch. Safe to call concurrently; the
+     * returned reference remains valid until clear().
+     */
+    const Dataset &get(DatasetId id, double scale = 0.0,
+                       std::uint64_t seed = 1);
+
+    /** Drop every cached dataset (invalidates get() references). */
+    void clear();
+
+    /** Number of cached datasets. */
+    std::size_t size() const;
+
+    /** The process-wide cache instance. */
+    static DatasetCache &global();
+
+  private:
+    using Key = std::tuple<int, double, std::uint64_t>;
+
+    /**
+     * One cache slot; built at most once, outside the map mutex.
+     * Held by shared_ptr so a clear() racing an in-flight get()
+     * cannot destroy a slot another thread is still building.
+     */
+    struct Entry
+    {
+        std::once_flag once;
+        std::unique_ptr<Dataset> data;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<Key, std::shared_ptr<Entry>> cache_;
+};
+
+} // namespace hygcn::api
+
+#endif // HYGCN_API_DATASET_CACHE_HPP

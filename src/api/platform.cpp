@@ -1,0 +1,112 @@
+#include "api/platform.hpp"
+
+#include <cmath>
+#include <cstdio>
+#include <stdexcept>
+
+namespace hygcn::api {
+
+std::string
+RunSpec::label() const
+{
+    std::string out =
+        platform + "/" + modelAbbrev(model) + "/" + datasetAbbrev(dataset);
+    for (const auto &[key, value] : varied) {
+        char buf[64];
+        std::snprintf(buf, sizeof(buf), " %s=%.6g", key.c_str(), value);
+        out += buf;
+    }
+    return out;
+}
+
+namespace {
+
+std::uint64_t
+asBytes(double value)
+{
+    if (value < 0.0 || value >= 9.0e18) // out of uint64/int64 range
+        throw std::invalid_argument(
+            "api: byte capacity out of range");
+    return static_cast<std::uint64_t>(std::llround(value));
+}
+
+std::uint32_t
+asU32(double value)
+{
+    if (value < 0.0 || value > 4294967295.0)
+        throw std::invalid_argument(
+            "api: count parameter out of uint32 range");
+    return static_cast<std::uint32_t>(std::llround(value));
+}
+
+} // namespace
+
+void
+applyParam(RunSpec &spec, const std::string &key, double value)
+{
+    HyGCNConfig &c = spec.hygcn;
+    if (key == "aggBufBytes")
+        c.aggBufBytes = asBytes(value);
+    else if (key == "inputBufBytes")
+        c.inputBufBytes = asBytes(value);
+    else if (key == "edgeBufBytes")
+        c.edgeBufBytes = asBytes(value);
+    else if (key == "weightBufBytes")
+        c.weightBufBytes = asBytes(value);
+    else if (key == "outputBufBytes")
+        c.outputBufBytes = asBytes(value);
+    else if (key == "simdCores")
+        c.simdCores = asU32(value);
+    else if (key == "simdWidth")
+        c.simdWidth = asU32(value);
+    else if (key == "systolicModules")
+        c.systolicModules = asU32(value);
+    else if (key == "moduleRows")
+        c.moduleRows = asU32(value);
+    else if (key == "moduleCols")
+        c.moduleCols = asU32(value);
+    else if (key == "moduleBudget") {
+        // Module granularity at the paper's fixed PE budget of 32
+        // basic 1x128 arrays (Fig 18g): N modules of (32/N) rows.
+        const std::uint32_t modules = asU32(value);
+        if (modules == 0 || 32 % modules != 0)
+            throw std::invalid_argument(
+                "api: moduleBudget must divide 32, got " +
+                std::to_string(modules));
+        c.systolicModules = modules;
+        c.moduleRows = 32 / modules;
+    } else if (key == "aggMode")
+        c.aggMode = value != 0.0 ? AggMode::VertexConcentrated
+                                 : AggMode::VertexDisperse;
+    else if (key == "sparsityElimination")
+        c.sparsityElimination = value != 0.0;
+    else if (key == "interEnginePipeline")
+        c.interEnginePipeline = value != 0.0;
+    else if (key == "memoryCoordination")
+        c.memoryCoordination = value != 0.0;
+    else if (key == "pipelineMode")
+        c.pipelineMode = value != 0.0 ? PipelineMode::EnergyAware
+                                      : PipelineMode::LatencyAware;
+    else if (key == "clockHz")
+        c.clockHz = value;
+    else if (key == "seed") {
+        if (value < 0.0 || value >= 1.8e19) // out of uint64 range
+            throw std::invalid_argument("api: seed out of range");
+        spec.seed = static_cast<std::uint64_t>(value);
+    } else if (key == "numLayers") {
+        if (value < 1.0 || value > 2147483647.0)
+            throw std::invalid_argument(
+                "api: numLayers out of range (>= 1)");
+        spec.numLayers = static_cast<int>(value);
+    }
+    else if (key == "sampleFactor")
+        spec.sampleFactor = asU32(value);
+    else if (key == "datasetScale")
+        spec.datasetScale = value;
+    else
+        throw std::invalid_argument("api: unknown sweep parameter \"" +
+                                    key + "\"");
+    spec.varied.emplace_back(key, value);
+}
+
+} // namespace hygcn::api

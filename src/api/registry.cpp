@@ -1,0 +1,190 @@
+#include "api/registry.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <stdexcept>
+
+namespace hygcn::api {
+
+/** Defined in platforms.cpp. */
+void registerBuiltinPlatforms(Registry &registry);
+
+namespace {
+
+std::string
+lower(std::string text)
+{
+    std::transform(text.begin(), text.end(), text.begin(),
+                   [](unsigned char c) { return std::tolower(c); });
+    return text;
+}
+
+[[noreturn]] void
+throwUnknown(const std::string &kind, const std::string &name,
+             const std::vector<std::string> &known)
+{
+    std::string msg = "api: unknown " + kind + " \"" + name + "\"; known: ";
+    for (std::size_t i = 0; i < known.size(); ++i)
+        msg += (i ? ", " : "") + known[i];
+    throw std::out_of_range(msg);
+}
+
+} // namespace
+
+template <class Map>
+std::vector<std::string>
+Registry::keysOf(const Map &map)
+{
+    std::vector<std::string> names;
+    names.reserve(map.size());
+    for (const auto &[name, value] : map)
+        names.push_back(name);
+    return names;
+}
+
+Registry::Registry()
+{
+    registerBuiltinPlatforms(*this);
+
+    for (DatasetId id : allDatasets()) {
+        auto factory = [id](std::uint64_t seed, double scale) {
+            return scale <= 0.0 ? makeDatasetScaledDefault(id, seed)
+                                : ::hygcn::makeDataset(id, seed, scale);
+        };
+        for (const std::string &key :
+             {lower(datasetAbbrev(id)), lower(datasetName(id))}) {
+            datasets_[key] = factory;
+            datasetIds_[key] = id;
+        }
+    }
+
+    for (ModelId id : allModels()) {
+        const std::string key = lower(modelAbbrev(id));
+        models_[key] = [id](int feature_len, int num_layers) {
+            return ::hygcn::makeModel(id, feature_len, num_layers);
+        };
+        modelIds_[key] = id;
+    }
+}
+
+Registry &
+Registry::global()
+{
+    static Registry registry;
+    return registry;
+}
+
+void
+Registry::registerPlatform(const std::string &name, PlatformFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    platforms_[lower(name)] = std::move(factory);
+}
+
+std::unique_ptr<Platform>
+Registry::makePlatform(const std::string &name) const
+{
+    PlatformFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = platforms_.find(lower(name));
+        if (it == platforms_.end())
+            throwUnknown("platform", name, keysOf(platforms_));
+        factory = it->second;
+    }
+    return factory();
+}
+
+bool
+Registry::hasPlatform(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return platforms_.count(lower(name)) > 0;
+}
+
+std::vector<std::string>
+Registry::platformNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(platforms_);
+}
+
+void
+Registry::registerDataset(const std::string &name, DatasetFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    datasets_[lower(name)] = std::move(factory);
+}
+
+Dataset
+Registry::makeDataset(const std::string &name, std::uint64_t seed,
+                      double scale) const
+{
+    DatasetFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = datasets_.find(lower(name));
+        if (it == datasets_.end())
+            throwUnknown("dataset", name, keysOf(datasets_));
+        factory = it->second;
+    }
+    return factory(seed, scale);
+}
+
+DatasetId
+Registry::datasetId(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = datasetIds_.find(lower(name));
+    if (it == datasetIds_.end())
+        throwUnknown("dataset", name, keysOf(datasetIds_));
+    return it->second;
+}
+
+std::vector<std::string>
+Registry::datasetNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(datasets_);
+}
+
+void
+Registry::registerModel(const std::string &name, ModelFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    models_[lower(name)] = std::move(factory);
+}
+
+ModelConfig
+Registry::makeModel(const std::string &name, int feature_len,
+                    int num_layers) const
+{
+    ModelFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = models_.find(lower(name));
+        if (it == models_.end())
+            throwUnknown("model", name, keysOf(models_));
+        factory = it->second;
+    }
+    return factory(feature_len, num_layers);
+}
+
+ModelId
+Registry::modelId(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = modelIds_.find(lower(name));
+    if (it == modelIds_.end())
+        throwUnknown("model", name, keysOf(modelIds_));
+    return it->second;
+}
+
+std::vector<std::string>
+Registry::modelNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(models_);
+}
+
+} // namespace hygcn::api

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * String-keyed factories for platforms, datasets, and models, so a
+ * scenario ("pyg-gpu on pubmed with gcn") is data, not code. The
+ * global registry comes pre-loaded with the built-in platforms
+ * ("hygcn", "hygcn-agg", "pyg-cpu", "pyg-cpu-part", "pyg-gpu",
+ * "pyg-gpu-part"), the six Table 4 datasets (by abbreviation and
+ * full name), and the four Table 5 models.
+ *
+ * Custom *platforms* are fully pluggable: registerPlatform() makes
+ * a backend runnable by Session/RunSpec. The dataset/model factory
+ * maps serve name-based construction (makeDataset("cora"),
+ * makeModel("gin", f)) and name->id resolution for the built-ins;
+ * the execution path itself runs on DatasetId/ModelId, so a
+ * registered custom dataset/model factory is constructible by name
+ * but not yet addressable from a RunSpec.
+ */
+
+#ifndef HYGCN_API_REGISTRY_HPP
+#define HYGCN_API_REGISTRY_HPP
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/platform.hpp"
+
+namespace hygcn::api {
+
+/** Thread-safe name -> factory maps for the unified API. */
+class Registry
+{
+  public:
+    using PlatformFactory = std::function<std::unique_ptr<Platform>()>;
+    /** Builds a dataset; @p scale <= 0 means default benchmark scale. */
+    using DatasetFactory =
+        std::function<Dataset(std::uint64_t seed, double scale)>;
+    /** Builds a model config for a given input feature length. */
+    using ModelFactory =
+        std::function<ModelConfig(int feature_len, int num_layers)>;
+
+    /** Constructs a registry pre-loaded with the built-ins. */
+    Registry();
+
+    /** The process-wide registry instance. */
+    static Registry &global();
+
+    // ---- platforms ---------------------------------------------
+    void registerPlatform(const std::string &name, PlatformFactory factory);
+    /** Instantiate platform @p name; throws std::out_of_range with
+     *  the known keys listed if the name is unknown. */
+    std::unique_ptr<Platform> makePlatform(const std::string &name) const;
+    bool hasPlatform(const std::string &name) const;
+    std::vector<std::string> platformNames() const;
+
+    // ---- datasets ----------------------------------------------
+    void registerDataset(const std::string &name, DatasetFactory factory);
+    Dataset makeDataset(const std::string &name, std::uint64_t seed = 1,
+                        double scale = 0.0) const;
+    /** Resolve a built-in dataset name/abbreviation to its id;
+     *  throws std::out_of_range on unknown names. */
+    DatasetId datasetId(const std::string &name) const;
+    std::vector<std::string> datasetNames() const;
+
+    // ---- models ------------------------------------------------
+    void registerModel(const std::string &name, ModelFactory factory);
+    ModelConfig makeModel(const std::string &name, int feature_len,
+                          int num_layers = 2) const;
+    /** Resolve a built-in model name to its id; throws
+     *  std::out_of_range on unknown names. */
+    ModelId modelId(const std::string &name) const;
+    std::vector<std::string> modelNames() const;
+
+  private:
+    template <class Map>
+    static std::vector<std::string> keysOf(const Map &map);
+
+    mutable std::mutex mutex_;
+    std::map<std::string, PlatformFactory> platforms_;
+    std::map<std::string, DatasetFactory> datasets_;
+    std::map<std::string, DatasetId> datasetIds_;
+    std::map<std::string, ModelFactory> models_;
+    std::map<std::string, ModelId> modelIds_;
+};
+
+} // namespace hygcn::api
+
+#endif // HYGCN_API_REGISTRY_HPP

@@ -1,0 +1,319 @@
+#include "api/session.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <stdexcept>
+#include <thread>
+
+#include "api/registry.hpp"
+
+namespace hygcn::api {
+
+// ---- SweepBuilder --------------------------------------------------
+
+SweepBuilder &
+SweepBuilder::platform(const std::string &name)
+{
+    platforms_ = {name};
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::platforms(std::vector<std::string> names)
+{
+    platforms_ = std::move(names);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::dataset(DatasetId id)
+{
+    datasets_ = {id};
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::datasets(std::vector<DatasetId> ids)
+{
+    datasets_ = std::move(ids);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::model(ModelId id)
+{
+    models_ = {id};
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::models(std::vector<ModelId> ids)
+{
+    models_ = std::move(ids);
+    return *this;
+}
+
+SweepBuilder &
+SweepBuilder::vary(const std::string &key, std::vector<double> values)
+{
+    varies_.emplace_back(key, std::move(values));
+    return *this;
+}
+
+std::size_t
+SweepBuilder::size() const
+{
+    std::size_t n = std::max<std::size_t>(platforms_.size(), 1) *
+                    std::max<std::size_t>(datasets_.size(), 1) *
+                    std::max<std::size_t>(models_.size(), 1);
+    for (const auto &[key, values] : varies_)
+        n *= values.size();
+    return n;
+}
+
+std::vector<RunSpec>
+SweepBuilder::expand() const
+{
+    // Unset axes fall back to the base spec's value.
+    const std::vector<std::string> platforms =
+        platforms_.empty() ? std::vector<std::string>{base.platform}
+                           : platforms_;
+    const std::vector<DatasetId> datasets =
+        datasets_.empty() ? std::vector<DatasetId>{base.dataset}
+                          : datasets_;
+    const std::vector<ModelId> models =
+        models_.empty() ? std::vector<ModelId>{base.model} : models_;
+
+    std::vector<RunSpec> specs;
+    specs.reserve(size());
+    for (const std::string &platform : platforms) {
+        for (DatasetId dataset : datasets) {
+            for (ModelId model : models) {
+                RunSpec spec = base;
+                spec.platform = platform;
+                spec.dataset = dataset;
+                spec.model = model;
+                specs.push_back(std::move(spec));
+            }
+        }
+    }
+
+    // Each vary() axis multiplies the expansion, innermost last:
+    // earlier axes change slowest, matching declaration order.
+    for (const auto &[key, values] : varies_) {
+        if (values.empty())
+            throw std::invalid_argument("api: vary(\"" + key +
+                                        "\") has no values");
+        std::vector<RunSpec> next;
+        next.reserve(specs.size() * values.size());
+        for (const RunSpec &spec : specs) {
+            for (double value : values) {
+                RunSpec varied = spec;
+                applyParam(varied, key, value);
+                next.push_back(std::move(varied));
+            }
+        }
+        specs = std::move(next);
+    }
+    return specs;
+}
+
+// ---- Session -------------------------------------------------------
+
+Session &
+Session::platform(const std::string &name)
+{
+    sweep_.platform(name);
+    return *this;
+}
+
+Session &
+Session::platforms(std::vector<std::string> names)
+{
+    sweep_.platforms(std::move(names));
+    return *this;
+}
+
+Session &
+Session::dataset(DatasetId id)
+{
+    sweep_.dataset(id);
+    return *this;
+}
+
+Session &
+Session::dataset(const std::string &name)
+{
+    sweep_.dataset(Registry::global().datasetId(name));
+    return *this;
+}
+
+Session &
+Session::datasets(std::vector<DatasetId> ids)
+{
+    sweep_.datasets(std::move(ids));
+    return *this;
+}
+
+Session &
+Session::model(ModelId id)
+{
+    sweep_.model(id);
+    return *this;
+}
+
+Session &
+Session::model(const std::string &name)
+{
+    sweep_.model(Registry::global().modelId(name));
+    return *this;
+}
+
+Session &
+Session::models(std::vector<ModelId> ids)
+{
+    sweep_.models(std::move(ids));
+    return *this;
+}
+
+Session &
+Session::vary(const std::string &key, std::vector<double> values)
+{
+    sweep_.vary(key, std::move(values));
+    return *this;
+}
+
+Session &
+Session::numLayers(int k)
+{
+    sweep_.base.numLayers = k;
+    return *this;
+}
+
+Session &
+Session::seed(std::uint64_t seed)
+{
+    sweep_.base.seed = seed;
+    return *this;
+}
+
+Session &
+Session::datasetScale(double scale)
+{
+    sweep_.base.datasetScale = scale;
+    return *this;
+}
+
+Session &
+Session::functional(bool on)
+{
+    sweep_.base.functional = on;
+    return *this;
+}
+
+Session &
+Session::withReadout(bool on)
+{
+    sweep_.base.withReadout = on;
+    return *this;
+}
+
+Session &
+Session::collectTrace(bool on)
+{
+    sweep_.base.collectTrace = on;
+    return *this;
+}
+
+Session &
+Session::sampleFactor(std::uint32_t factor)
+{
+    sweep_.base.sampleFactor = factor;
+    return *this;
+}
+
+Session &
+Session::config(const HyGCNConfig &config)
+{
+    sweep_.base.hygcn = config;
+    return *this;
+}
+
+Session &
+Session::threads(unsigned count)
+{
+    threads_ = count;
+    return *this;
+}
+
+std::vector<RunResult>
+Session::runAll() const
+{
+    const std::vector<RunSpec> specs = expand();
+    std::vector<RunResult> results(specs.size());
+    if (specs.empty())
+        return results;
+
+    unsigned workers = threads_ ? threads_
+                                : std::thread::hardware_concurrency();
+    workers = std::max(1u, std::min<unsigned>(
+                               workers, static_cast<unsigned>(specs.size())));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    auto work = [&] {
+        for (;;) {
+            // Stop claiming work once any spec has failed: the whole
+            // sweep's results are discarded on rethrow, so finishing
+            // the remaining runs would only burn compute.
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i = next.fetch_add(1);
+            if (i >= specs.size())
+                return;
+            try {
+                results[i] = Registry::global()
+                                 .makePlatform(specs[i].platform)
+                                 ->run(specs[i]);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    if (workers == 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (error)
+        std::rethrow_exception(error);
+    return results;
+}
+
+RunResult
+Session::runOne() const
+{
+    std::vector<RunResult> results = runAll();
+    if (results.size() != 1)
+        throw std::logic_error(
+            "api: runOne() on a sweep expanding to " +
+            std::to_string(results.size()) + " runs; use runAll()");
+    return std::move(results.front());
+}
+
+} // namespace hygcn::api

@@ -1,0 +1,122 @@
+/**
+ * @file
+ * Fluent entry point of the unified API. A Session wraps a
+ * SweepBuilder (the cartesian product of platforms x datasets x
+ * models x varied parameters) and executes the expansion on a
+ * std::thread worker pool over the shared thread-safe dataset cache:
+ *
+ *   auto results = Session()
+ *                      .platform("hygcn")
+ *                      .model(ModelId::GCN)
+ *                      .datasets({DatasetId::CR, DatasetId::PB})
+ *                      .vary("aggBufBytes", {2 << 20, 16 << 20})
+ *                      .runAll();
+ *
+ * Results come back in expansion order regardless of the worker
+ * count, and every run is deterministic in its spec, so a parallel
+ * sweep serializes to exactly the same JSON as a sequential one.
+ */
+
+#ifndef HYGCN_API_SESSION_HPP
+#define HYGCN_API_SESSION_HPP
+
+#include <string>
+#include <vector>
+
+#include "api/platform.hpp"
+
+namespace hygcn::api {
+
+/**
+ * Declarative description of a parameter sweep: a base RunSpec plus
+ * the axes to vary. expand() produces the cartesian product in
+ * deterministic declaration order (platforms outermost, then
+ * datasets, models, and each vary() axis innermost).
+ */
+class SweepBuilder
+{
+  public:
+    /** The spec every expanded run starts from. */
+    RunSpec base;
+
+    SweepBuilder &platform(const std::string &name);
+    SweepBuilder &platforms(std::vector<std::string> names);
+    SweepBuilder &dataset(DatasetId id);
+    SweepBuilder &datasets(std::vector<DatasetId> ids);
+    SweepBuilder &model(ModelId id);
+    SweepBuilder &models(std::vector<ModelId> ids);
+
+    /** Add a sweep axis: one run per value of applyParam key. */
+    SweepBuilder &vary(const std::string &key, std::vector<double> values);
+
+    /** Number of runs expand() will produce. */
+    std::size_t size() const;
+
+    /** Expand the cartesian product into concrete specs. */
+    std::vector<RunSpec> expand() const;
+
+  private:
+    std::vector<std::string> platforms_;
+    std::vector<DatasetId> datasets_;
+    std::vector<ModelId> models_;
+    std::vector<std::pair<std::string, std::vector<double>>> varies_;
+};
+
+/** Fluent builder + parallel executor over the Registry platforms. */
+class Session
+{
+  public:
+    // ---- sweep definition (forwarded to the SweepBuilder) -------
+    Session &platform(const std::string &name);
+    Session &platforms(std::vector<std::string> names);
+    Session &dataset(DatasetId id);
+    /** Accepts registry dataset names ("cora", "pb", ...). */
+    Session &dataset(const std::string &name);
+    Session &datasets(std::vector<DatasetId> ids);
+    Session &model(ModelId id);
+    Session &model(const std::string &name);
+    Session &models(std::vector<ModelId> ids);
+    Session &vary(const std::string &key, std::vector<double> values);
+
+    // ---- base-spec knobs ---------------------------------------
+    Session &numLayers(int k);
+    Session &seed(std::uint64_t seed);
+    Session &datasetScale(double scale);
+    Session &functional(bool on = true);
+    Session &withReadout(bool on = true);
+    Session &collectTrace(bool on = true);
+    Session &sampleFactor(std::uint32_t factor);
+    Session &config(const HyGCNConfig &config);
+
+    /** Worker threads for runAll (0 = hardware concurrency). */
+    Session &threads(unsigned count);
+
+    /** The underlying sweep definition. */
+    SweepBuilder &sweep() { return sweep_; }
+    const SweepBuilder &sweep() const { return sweep_; }
+
+    /** Concrete specs this session would run. */
+    std::vector<RunSpec> expand() const { return sweep_.expand(); }
+
+    /**
+     * Execute every expanded spec on a worker pool. Results are in
+     * expansion order; the first worker exception (e.g. an invalid
+     * config failing fast) is rethrown after the pool drains.
+     */
+    std::vector<RunResult> runAll() const;
+
+    /** Run a sweep that expands to exactly one spec (throws
+     *  std::logic_error otherwise). */
+    RunResult runOne() const;
+
+    /** Convenience: runOne().report. */
+    SimReport report() const { return runOne().report; }
+
+  private:
+    SweepBuilder sweep_;
+    unsigned threads_ = 0;
+};
+
+} // namespace hygcn::api
+
+#endif // HYGCN_API_SESSION_HPP

@@ -1,6 +1,9 @@
 #include "sim/json.hpp"
 
 #include <cstdio>
+#include <map>
+
+#include "api/platform.hpp"
 
 namespace hygcn {
 
@@ -36,6 +39,15 @@ number(double v)
 {
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
+/** Exact double round-trip, for values that key sweep runs. */
+std::string
+numberExact(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
     return buf;
 }
 
@@ -80,6 +92,99 @@ toJson(const SimReport &report)
         out += "\"" + jsonEscape(name) + "\":" + number(v);
     }
     out += "}}";
+    return out;
+}
+
+std::string
+toJson(const api::RunSpec &spec)
+{
+    std::string out = "{";
+    out += "\"platform\":\"" + jsonEscape(spec.platform) + "\",";
+    out += "\"dataset\":\"" + jsonEscape(datasetAbbrev(spec.dataset)) +
+           "\",";
+    out += "\"model\":\"" + jsonEscape(modelAbbrev(spec.model)) + "\",";
+    out += "\"num_layers\":" + std::to_string(spec.numLayers) + ",";
+    out += "\"seed\":" + std::to_string(spec.seed) + ",";
+    out += "\"dataset_seed\":" + std::to_string(spec.datasetSeed) + ",";
+    out += "\"dataset_scale\":" + number(spec.datasetScale) + ",";
+    out += std::string("\"functional\":") +
+           (spec.functional ? "true" : "false") + ",";
+    out += std::string("\"with_readout\":") +
+           (spec.withReadout ? "true" : "false") + ",";
+    out += "\"sample_factor\":" + std::to_string(spec.sampleFactor) + ",";
+
+    // Full accelerator config, so runs differing only via a custom
+    // base config (not a vary() axis) stay distinguishable. Applies
+    // to the hygcn* platforms; inert for the pyg baselines.
+    const HyGCNConfig &c = spec.hygcn;
+    out += "\"hygcn_config\":{";
+    out += "\"simdCores\":" + std::to_string(c.simdCores) + ",";
+    out += "\"simdWidth\":" + std::to_string(c.simdWidth) + ",";
+    out += std::string("\"aggMode\":\"") +
+           (c.aggMode == AggMode::VertexDisperse ? "disperse"
+                                                 : "concentrated") +
+           "\",";
+    out += "\"systolicModules\":" + std::to_string(c.systolicModules) +
+           ",";
+    out += "\"moduleRows\":" + std::to_string(c.moduleRows) + ",";
+    out += "\"moduleCols\":" + std::to_string(c.moduleCols) + ",";
+    out += "\"inputBufBytes\":" + std::to_string(c.inputBufBytes) + ",";
+    out += "\"edgeBufBytes\":" + std::to_string(c.edgeBufBytes) + ",";
+    out += "\"weightBufBytes\":" + std::to_string(c.weightBufBytes) + ",";
+    out += "\"outputBufBytes\":" + std::to_string(c.outputBufBytes) + ",";
+    out += "\"aggBufBytes\":" + std::to_string(c.aggBufBytes) + ",";
+    out += std::string("\"sparsityElimination\":") +
+           (c.sparsityElimination ? "true" : "false") + ",";
+    out += std::string("\"interEnginePipeline\":") +
+           (c.interEnginePipeline ? "true" : "false") + ",";
+    out += std::string("\"memoryCoordination\":") +
+           (c.memoryCoordination ? "true" : "false") + ",";
+    out += std::string("\"pipelineMode\":\"") +
+           (c.pipelineMode == PipelineMode::LatencyAware ? "latency"
+                                                         : "energy") +
+           "\",";
+    out += "\"clockHz\":" + number(c.clockHz);
+    out += "},";
+
+    // Dedupe by key (last application wins) so re-varied parameters
+    // never produce duplicate JSON keys.
+    std::map<std::string, double> varied;
+    for (const auto &[key, value] : spec.varied)
+        varied[key] = value;
+    out += "\"varied\":{";
+    bool first = true;
+    for (const auto &[key, value] : varied) {
+        if (!first)
+            out += ",";
+        first = false;
+        out += "\"" + jsonEscape(key) + "\":" + numberExact(value);
+    }
+    out += "}}";
+    return out;
+}
+
+std::string
+toJson(const api::RunResult &result)
+{
+    std::string out = "{";
+    out += "\"spec\":" + toJson(result.spec) + ",";
+    out += "\"avg_vertex_latency\":" + number(result.avgVertexLatency) +
+           ",";
+    out += "\"report\":" + toJson(result.report);
+    out += "}";
+    return out;
+}
+
+std::string
+toJson(const std::vector<api::RunResult> &sweep)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < sweep.size(); ++i) {
+        if (i)
+            out += ",";
+        out += toJson(sweep[i]);
+    }
+    out += "]";
     return out;
 }
 

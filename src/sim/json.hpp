@@ -10,8 +10,14 @@
 #define HYGCN_SIM_JSON_HPP
 
 #include <string>
+#include <vector>
 
 #include "sim/report.hpp"
+
+namespace hygcn::api {
+struct RunSpec;
+struct RunResult;
+} // namespace hygcn::api
 
 namespace hygcn {
 
@@ -23,6 +29,22 @@ std::string jsonEscape(const std::string &text);
  * seconds, joules, energy components (pJ), counters, and gauges.
  */
 std::string toJson(const SimReport &report);
+
+/**
+ * Serialize @p spec as a JSON object: platform, dataset, model,
+ * seeds, run mode flags, and the varied sweep parameters.
+ */
+std::string toJson(const api::RunSpec &spec);
+
+/** Serialize one run: the spec echo plus its report. */
+std::string toJson(const api::RunResult &result);
+
+/**
+ * Serialize a whole sweep as a JSON array, one element per run with
+ * its spec echoed, so plotting scripts can consume sweep output
+ * directly. Deterministic in the sweep's expansion order.
+ */
+std::string toJson(const std::vector<api::RunResult> &sweep);
 
 } // namespace hygcn
 
