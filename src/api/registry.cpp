@@ -9,6 +9,9 @@ namespace hygcn::api {
 /** Defined in platforms.cpp. */
 void registerBuiltinPlatforms(Registry &registry);
 
+/** Defined in workloads.cpp. */
+void registerBuiltinWorkloads(Registry &registry);
+
 namespace {
 
 std::string
@@ -45,6 +48,7 @@ Registry::keysOf(const Map &map)
 Registry::Registry()
 {
     registerBuiltinPlatforms(*this);
+    registerBuiltinWorkloads(*this);
 
     for (DatasetId id : allDatasets()) {
         auto factory = [id](std::uint64_t seed, double scale) {
@@ -185,6 +189,41 @@ Registry::modelNames() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return keysOf(models_);
+}
+
+void
+Registry::registerWorkload(const std::string &name, WorkloadFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    workloads_[lower(name)] = std::move(factory);
+}
+
+serve::ServeConfig
+Registry::makeWorkload(const std::string &name) const
+{
+    WorkloadFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = workloads_.find(lower(name));
+        if (it == workloads_.end())
+            throwUnknown("workload", name, keysOf(workloads_));
+        factory = it->second;
+    }
+    return factory();
+}
+
+bool
+Registry::hasWorkload(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return workloads_.count(lower(name)) > 0;
+}
+
+std::vector<std::string>
+Registry::workloadNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(workloads_);
 }
 
 } // namespace hygcn::api

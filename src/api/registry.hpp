@@ -14,6 +14,10 @@
  * the execution path itself runs on DatasetId/ModelId, so a
  * registered custom dataset/model factory is constructible by name
  * but not yet addressable from a RunSpec.
+ *
+ * Serving *workloads* (named ServeConfig presets, e.g.
+ * "serve-smoke") are first-class scenarios too: registerWorkload()
+ * makes one runnable via ServeSession::workload(name).
  */
 
 #ifndef HYGCN_API_REGISTRY_HPP
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "api/platform.hpp"
+#include "serve/workload.hpp"
 
 namespace hygcn::api {
 
@@ -41,6 +46,8 @@ class Registry
     /** Builds a model config for a given input feature length. */
     using ModelFactory =
         std::function<ModelConfig(int feature_len, int num_layers)>;
+    /** Builds a named serving workload preset. */
+    using WorkloadFactory = std::function<serve::ServeConfig()>;
 
     /** Constructs a registry pre-loaded with the built-ins. */
     Registry();
@@ -74,6 +81,14 @@ class Registry
     ModelId modelId(const std::string &name) const;
     std::vector<std::string> modelNames() const;
 
+    // ---- serving workloads -------------------------------------
+    void registerWorkload(const std::string &name, WorkloadFactory factory);
+    /** Build workload preset @p name; throws std::out_of_range with
+     *  the known keys listed if the name is unknown. */
+    serve::ServeConfig makeWorkload(const std::string &name) const;
+    bool hasWorkload(const std::string &name) const;
+    std::vector<std::string> workloadNames() const;
+
   private:
     template <class Map>
     static std::vector<std::string> keysOf(const Map &map);
@@ -84,6 +99,7 @@ class Registry
     std::map<std::string, DatasetId> datasetIds_;
     std::map<std::string, ModelFactory> models_;
     std::map<std::string, ModelId> modelIds_;
+    std::map<std::string, WorkloadFactory> workloads_;
 };
 
 } // namespace hygcn::api

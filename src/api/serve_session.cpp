@@ -1,0 +1,121 @@
+#include "api/serve_session.hpp"
+
+#include <utility>
+
+#include "api/registry.hpp"
+
+namespace hygcn::api {
+
+ServeSession::ServeSession(serve::ServeConfig config)
+    : config_(std::move(config))
+{
+    // Scenarios added later default to the scale the incoming config
+    // already uses, not full size.
+    if (!config_.scenarios.empty())
+        datasetScale_ = config_.scenarios.front().spec.datasetScale;
+}
+
+ServeSession
+ServeSession::workload(const std::string &name)
+{
+    return ServeSession(Registry::global().makeWorkload(name));
+}
+
+ServeSession &
+ServeSession::platform(const std::string &name)
+{
+    config_.platform = name;
+    return *this;
+}
+
+ServeSession &
+ServeSession::instances(std::uint32_t count)
+{
+    config_.instances = count;
+    return *this;
+}
+
+ServeSession &
+ServeSession::scenario(const std::string &dataset, const std::string &model)
+{
+    const Registry &registry = Registry::global();
+    serve::ServeScenario scenario;
+    scenario.name = dataset + "/" + model;
+    scenario.spec.dataset = registry.datasetId(dataset);
+    scenario.spec.model = registry.modelId(model);
+    scenario.spec.datasetScale = datasetScale_;
+    config_.scenarios.push_back(std::move(scenario));
+    return *this;
+}
+
+ServeSession &
+ServeSession::scenario(serve::ServeScenario scenario)
+{
+    config_.scenarios.push_back(std::move(scenario));
+    return *this;
+}
+
+ServeSession &
+ServeSession::datasetScale(double scale)
+{
+    datasetScale_ = scale;
+    for (serve::ServeScenario &scenario : config_.scenarios)
+        scenario.spec.datasetScale = scale;
+    return *this;
+}
+
+ServeSession &
+ServeSession::tenant(const std::string &name, double weight,
+                     std::vector<double> scenario_weights)
+{
+    serve::TenantMix mix;
+    mix.name = name;
+    mix.weight = weight;
+    mix.scenarioWeights = std::move(scenario_weights);
+    config_.tenants.push_back(std::move(mix));
+    return *this;
+}
+
+ServeSession &
+ServeSession::requests(std::uint64_t count)
+{
+    config_.numRequests = count;
+    return *this;
+}
+
+ServeSession &
+ServeSession::meanInterarrival(double cycles)
+{
+    config_.meanInterarrivalCycles = cycles;
+    return *this;
+}
+
+ServeSession &
+ServeSession::seed(std::uint64_t seed)
+{
+    config_.seed = seed;
+    return *this;
+}
+
+ServeSession &
+ServeSession::maxBatch(std::uint32_t size)
+{
+    config_.maxBatch = size;
+    return *this;
+}
+
+ServeSession &
+ServeSession::batchTimeout(Cycle cycles)
+{
+    config_.batchTimeoutCycles = cycles;
+    return *this;
+}
+
+ServeSession &
+ServeSession::batchMarginalFraction(double fraction)
+{
+    config_.batchMarginalFraction = fraction;
+    return *this;
+}
+
+} // namespace hygcn::api

@@ -1,0 +1,93 @@
+/**
+ * @file
+ * Fluent entry point of the serving simulator, mirroring Session for
+ * single runs: a ServeSession accumulates a ServeConfig — platform,
+ * scenarios (by registry names), tenants, arrival process, batching
+ * knobs, instance count — and executes it through serve::Scheduler:
+ *
+ *   auto result = ServeSession()
+ *                     .platform("hygcn")
+ *                     .datasetScale(0.2)
+ *                     .scenario("cora", "gcn")
+ *                     .scenario("cora", "gin")
+ *                     .tenant("interactive", 0.8, {3.0, 1.0})
+ *                     .tenant("analytics", 0.2)
+ *                     .requests(512)
+ *                     .instances(4)
+ *                     .run();
+ *
+ * Named presets registered in the Registry ("serve-smoke", ...) are
+ * runnable via ServeSession::workload(name).
+ */
+
+#ifndef HYGCN_API_SERVE_SESSION_HPP
+#define HYGCN_API_SERVE_SESSION_HPP
+
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace hygcn::api {
+
+/** Fluent builder + executor over the serve layer. */
+class ServeSession
+{
+  public:
+    ServeSession() = default;
+
+    /** Start from an explicit config. */
+    explicit ServeSession(serve::ServeConfig config);
+
+    /** Start from a registry workload preset ("serve-smoke", ...). */
+    static ServeSession workload(const std::string &name);
+
+    // ---- cluster -----------------------------------------------
+    /** Registry key of the platform every instance replicates. */
+    ServeSession &platform(const std::string &name);
+    ServeSession &instances(std::uint32_t count);
+
+    // ---- scenarios ---------------------------------------------
+    /**
+     * Add a scenario by registry dataset/model names, at the current
+     * datasetScale(); named "<dataset>/<model>".
+     */
+    ServeSession &scenario(const std::string &dataset,
+                           const std::string &model);
+    ServeSession &scenario(serve::ServeScenario scenario);
+
+    /**
+     * Dataset scale for every scenario: applied to the ones already
+     * added and to every scenario() that follows.
+     */
+    ServeSession &datasetScale(double scale);
+
+    // ---- traffic -----------------------------------------------
+    /** Add a tenant; empty weights select scenarios uniformly. */
+    ServeSession &tenant(const std::string &name, double weight,
+                         std::vector<double> scenario_weights = {});
+    ServeSession &requests(std::uint64_t count);
+    ServeSession &meanInterarrival(double cycles);
+    ServeSession &seed(std::uint64_t seed);
+
+    // ---- batching ----------------------------------------------
+    ServeSession &maxBatch(std::uint32_t size);
+    ServeSession &batchTimeout(Cycle cycles);
+    ServeSession &batchMarginalFraction(double fraction);
+
+    /** The accumulated config. */
+    serve::ServeConfig &config() { return config_; }
+    const serve::ServeConfig &config() const { return config_; }
+
+    /** Execute the serving simulation. */
+    serve::ServeResult run() const { return serve::runServe(config_); }
+
+  private:
+    serve::ServeConfig config_;
+    double datasetScale_ = 0.0;
+};
+
+} // namespace hygcn::api
+
+#endif // HYGCN_API_SERVE_SESSION_HPP

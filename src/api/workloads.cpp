@@ -1,0 +1,106 @@
+/**
+ * @file
+ * Built-in serving workload presets, registered into the Registry so
+ * a serving scenario is data, not code: "serve-smoke" (small scaled
+ * single-tenant mix, the golden-regression fixture), "serve-steady"
+ * (full-size two-dataset mix under moderate load), and
+ * "serve-bursty" (two tenants with skewed mixes and tight arrivals,
+ * the tail-latency stressor). Nothing here is public API beyond
+ * registerBuiltinWorkloads().
+ */
+
+#include "api/registry.hpp"
+
+namespace hygcn::api {
+
+namespace {
+
+serve::ServeScenario
+scenario(DatasetId dataset, ModelId model, double scale)
+{
+    serve::ServeScenario s;
+    s.name = datasetAbbrev(dataset) + "/" + modelAbbrev(model);
+    s.spec.dataset = dataset;
+    s.spec.model = model;
+    s.spec.datasetScale = scale;
+    return s;
+}
+
+/**
+ * Small and fast: scaled Cora under GCN and GIN, one default tenant,
+ * 48 requests on 2 instances. Used by the checked-in serve golden,
+ * so every knob here is load-bearing for byte-exact regression.
+ */
+serve::ServeConfig
+smoke()
+{
+    serve::ServeConfig config;
+    config.platform = "hygcn";
+    config.scenarios = {scenario(DatasetId::CR, ModelId::GCN, 0.2),
+                        scenario(DatasetId::CR, ModelId::GIN, 0.2)};
+    // Unit runs are ~55-65 kcycles; 40 kcycle interarrivals on two
+    // instances put unbatched load near 0.75, so batches really form.
+    config.numRequests = 48;
+    config.meanInterarrivalCycles = 40000.0;
+    config.seed = 20200222;
+    config.instances = 2;
+    config.maxBatch = 4;
+    config.batchTimeoutCycles = 100000;
+    return config;
+}
+
+/** Full-size Cora + Citeseer GCN mix under moderate open-loop load. */
+serve::ServeConfig
+steady()
+{
+    serve::ServeConfig config;
+    config.platform = "hygcn";
+    config.scenarios = {scenario(DatasetId::CR, ModelId::GCN, 0.0),
+                        scenario(DatasetId::CS, ModelId::GCN, 0.0)};
+    // Unit runs average ~660 kcycles, so 300 kcycle interarrivals on
+    // four instances sit near 0.55 unbatched load.
+    config.numRequests = 256;
+    config.meanInterarrivalCycles = 300000.0;
+    config.seed = 20200222;
+    config.instances = 4;
+    config.maxBatch = 8;
+    config.batchTimeoutCycles = 600000;
+    return config;
+}
+
+/**
+ * Two tenants with skewed scenario mixes and arrivals tight enough
+ * to queue: an interactive tenant dominated by the small dataset and
+ * an analytics tenant favoring the large one.
+ */
+serve::ServeConfig
+bursty()
+{
+    serve::ServeConfig config;
+    config.platform = "hygcn";
+    config.scenarios = {scenario(DatasetId::CR, ModelId::GCN, 0.0),
+                        scenario(DatasetId::PB, ModelId::GCN, 0.0)};
+    config.tenants = {{"interactive", 0.8, {9.0, 1.0}},
+                      {"analytics", 0.2, {1.0, 4.0}}};
+    // The mix averages ~570 kcycles/request; 200 kcycle interarrivals
+    // on four instances run hot (~0.7 unbatched load), stressing p99.
+    config.numRequests = 256;
+    config.meanInterarrivalCycles = 200000.0;
+    config.seed = 20200222;
+    config.instances = 4;
+    config.maxBatch = 8;
+    config.batchTimeoutCycles = 300000;
+    return config;
+}
+
+} // namespace
+
+void
+registerBuiltinWorkloads(Registry &registry)
+{
+    registry.registerWorkload("serve-smoke", smoke);
+    registry.registerWorkload("serve-steady", steady);
+    registry.registerWorkload("serve-bursty", bursty);
+}
+
+} // namespace hygcn::api

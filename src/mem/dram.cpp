@@ -1,6 +1,7 @@
 #include "mem/dram.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 namespace hygcn {
 
@@ -9,6 +10,23 @@ HbmModel::HbmModel(const HbmConfig &config) : config_(config)
     channels_.resize(config_.channels);
     for (Channel &ch : channels_)
         ch.banks.resize(config_.banksPerChannel);
+    channelBytes_.assign(config_.channels, 0);
+    foldedChannelBytes_.assign(config_.channels, 0);
+}
+
+void
+HbmModel::foldChannelCounters() const
+{
+    for (std::uint32_t ch = 0; ch < config_.channels; ++ch) {
+        const std::uint64_t delta =
+            channelBytes_[ch] - foldedChannelBytes_[ch];
+        if (delta == 0)
+            continue;
+        char name[32];
+        std::snprintf(name, sizeof(name), "dram.ch%02u.bytes", ch);
+        stats_.add(name, delta);
+        foldedChannelBytes_[ch] = channelBytes_[ch];
+    }
 }
 
 void
@@ -68,6 +86,7 @@ HbmModel::serviceOne(const MemRequest &request, Cycle start)
 
     stats_.add("dram.requests");
     stats_.add("dram.busy_cycles", burst);
+    channelBytes_[ch_idx] += request.bytes;
     if (request.isWrite)
         stats_.add("dram.write_bytes", request.bytes);
     else

@@ -60,9 +60,22 @@ class HbmModel
     /** Convenience: service a single request. */
     Cycle serviceOne(const MemRequest &request, Cycle start);
 
-    /** Accumulated statistics (row hits/misses, bytes, busy cycles). */
-    const StatGroup &stats() const { return stats_; }
-    StatGroup &stats() { return stats_; }
+    /** Accumulated statistics (row hits/misses, bytes, busy cycles,
+     *  and per-channel "dram.chNN.bytes" counters). */
+    const StatGroup &stats() const
+    {
+        foldChannelCounters();
+        return stats_;
+    }
+    StatGroup &stats()
+    {
+        foldChannelCounters();
+        return stats_;
+    }
+
+    /** Bytes transferred on channel @p channel (reads + writes). */
+    std::uint64_t channelBytes(std::uint32_t channel) const
+    { return channelBytes_.at(channel); }
 
     /** Forget open rows and busy state; keep statistics. */
     void resetTiming();
@@ -85,9 +98,19 @@ class HbmModel
     void mapAddr(Addr addr, std::uint32_t &channel, std::uint32_t &bank,
                  std::int64_t &row) const;
 
+    /**
+     * Mirror channelBytes_ into the "dram.chNN.bytes" counters.
+     * Deferred to stats() access so the per-request hot path pays a
+     * vector increment, not a string-keyed map lookup.
+     */
+    void foldChannelCounters() const;
+
     HbmConfig config_;
     std::vector<Channel> channels_;
-    StatGroup stats_;
+    mutable StatGroup stats_;
+    std::vector<std::uint64_t> channelBytes_;
+    /** Portion of channelBytes_ already folded into stats_. */
+    mutable std::vector<std::uint64_t> foldedChannelBytes_;
 };
 
 } // namespace hygcn

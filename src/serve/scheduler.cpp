@@ -1,0 +1,252 @@
+#include "serve/scheduler.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "api/registry.hpp"
+
+namespace hygcn::serve {
+
+namespace {
+
+/** a + b, saturating at kNever so huge timeouts mean "never". */
+Cycle
+satAdd(Cycle a, Cycle b)
+{
+    const Cycle sum = a + b;
+    return sum < a ? Batcher::kNever : sum;
+}
+
+} // namespace
+
+// ---- Batcher -------------------------------------------------------
+
+Batcher::Batcher(std::uint32_t max_batch, Cycle timeout_cycles,
+                 std::size_t num_scenarios)
+    : maxBatch_(max_batch), timeoutCycles_(timeout_cycles),
+      queues_(num_scenarios)
+{
+}
+
+void
+Batcher::admit(const ServeRequest &request)
+{
+    queues_.at(request.scenario).push_back(request);
+    ++pending_;
+}
+
+bool
+Batcher::queueReady(const std::deque<ServeRequest> &queue, Cycle now,
+                    bool drain) const
+{
+    if (queue.empty())
+        return false;
+    return drain || queue.size() >= maxBatch_ ||
+           satAdd(queue.front().arrival, timeoutCycles_) <= now;
+}
+
+bool
+Batcher::ready(Cycle now, bool drain) const
+{
+    for (const auto &queue : queues_)
+        if (queueReady(queue, now, drain))
+            return true;
+    return false;
+}
+
+std::vector<ServeRequest>
+Batcher::pop(Cycle now, bool drain)
+{
+    std::size_t best = queues_.size();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queueReady(queues_[i], now, drain))
+            continue;
+        if (best == queues_.size() ||
+            queues_[i].front().arrival < queues_[best].front().arrival)
+            best = i;
+    }
+    if (best == queues_.size())
+        throw std::logic_error("serve: pop() without a ready batch");
+
+    std::deque<ServeRequest> &queue = queues_[best];
+    const std::size_t take =
+        std::min<std::size_t>(queue.size(), maxBatch_);
+    std::vector<ServeRequest> batch(queue.begin(),
+                                    queue.begin() +
+                                        static_cast<std::ptrdiff_t>(take));
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<std::ptrdiff_t>(take));
+    pending_ -= take;
+    return batch;
+}
+
+Cycle
+Batcher::nextTimeout() const
+{
+    Cycle next = kNever;
+    for (const auto &queue : queues_)
+        if (!queue.empty())
+            next = std::min(next,
+                            satAdd(queue.front().arrival, timeoutCycles_));
+    return next;
+}
+
+// ---- Scheduler -----------------------------------------------------
+
+Cycle
+batchServiceCycles(Cycle unit, std::size_t size, double marginal_fraction)
+{
+    if (size == 0)
+        return 0;
+    const double marginal =
+        static_cast<double>(unit) * marginal_fraction *
+        static_cast<double>(size - 1);
+    const Cycle total =
+        unit + static_cast<Cycle>(std::llround(marginal));
+    // Every batch occupies its instance for at least one cycle so
+    // service intervals are never empty.
+    return std::max<Cycle>(total, 1);
+}
+
+Scheduler::Scheduler(ServeConfig config) : config_(std::move(config))
+{
+    config_.validate();
+}
+
+ServeResult
+Scheduler::run() const
+{
+    return run(*api::Registry::global().makePlatform(config_.platform));
+}
+
+ServeResult
+Scheduler::run(const api::Platform &platform) const
+{
+    ServeResult result;
+    result.config = config_;
+
+    // Price each scenario with one run of the replicated platform;
+    // runs are deterministic in their spec, so this is exactly the
+    // time any instance spends replaying the scenario.
+    result.scenarioUnitCycles.reserve(config_.scenarios.size());
+    for (const ServeScenario &scenario : config_.scenarios) {
+        api::RunSpec spec = scenario.spec;
+        spec.platform = config_.platform;
+        const api::RunResult run = platform.run(spec);
+        result.scenarioUnitCycles.push_back(run.report.cycles);
+        result.clockHz = run.report.clockHz;
+    }
+
+    const std::vector<ServeRequest> stream =
+        RequestGenerator(config_).generate();
+    result.requests.resize(stream.size());
+
+    Batcher batcher(config_.maxBatch, config_.batchTimeoutCycles,
+                    config_.scenarios.size());
+    std::vector<Cycle> free_at(config_.instances, 0);
+    result.instances.resize(config_.instances);
+    for (std::uint32_t i = 0; i < config_.instances; ++i)
+        result.instances[i].id = i;
+
+    std::size_t next_arrival = 0;
+    std::size_t served = 0;
+    Cycle now = 0;
+
+    while (served < stream.size()) {
+        while (next_arrival < stream.size() &&
+               stream[next_arrival].arrival <= now)
+            batcher.admit(stream[next_arrival++]);
+        const bool drain = next_arrival == stream.size();
+
+        // Dispatch while a batch is formable and an instance is free;
+        // least-recently-freed instance first (ties to lowest id).
+        for (;;) {
+            std::size_t inst = free_at.size();
+            for (std::size_t i = 0; i < free_at.size(); ++i)
+                if (free_at[i] <= now &&
+                    (inst == free_at.size() || free_at[i] < free_at[inst]))
+                    inst = i;
+            if (inst == free_at.size() || !batcher.ready(now, drain))
+                break;
+
+            const std::vector<ServeRequest> members =
+                batcher.pop(now, drain);
+            const std::uint32_t scenario = members.front().scenario;
+            const Cycle service = batchServiceCycles(
+                result.scenarioUnitCycles[scenario], members.size(),
+                config_.batchMarginalFraction);
+
+            BatchRecord batch;
+            batch.id = result.batches.size();
+            batch.scenario = scenario;
+            batch.instance = static_cast<std::uint32_t>(inst);
+            batch.dispatch = now;
+            batch.completion = now + service;
+            for (const ServeRequest &member : members) {
+                RequestRecord &record = result.requests[member.id];
+                record.id = member.id;
+                record.tenant = member.tenant;
+                record.scenario = member.scenario;
+                record.arrival = member.arrival;
+                record.dispatch = batch.dispatch;
+                record.completion = batch.completion;
+                record.instance = batch.instance;
+                record.batch = batch.id;
+                batch.requestIds.push_back(member.id);
+            }
+
+            InstanceRecord &instance = result.instances[inst];
+            ++instance.batches;
+            instance.requests += members.size();
+            instance.busyCycles += service;
+            free_at[inst] = batch.completion;
+            result.makespan = std::max(result.makespan, batch.completion);
+            served += members.size();
+            result.batches.push_back(std::move(batch));
+        }
+        if (served == stream.size())
+            break;
+
+        // Advance to the next event: an arrival, a queue-head batch
+        // timeout, or an instance completion.
+        Cycle next = Batcher::kNever;
+        if (next_arrival < stream.size())
+            next = std::min(next, stream[next_arrival].arrival);
+        if (!batcher.empty()) {
+            // A timeout already in the past made its queue ready; the
+            // blocker is then a busy instance, so only future expiries
+            // are events.
+            const Cycle timeout = batcher.nextTimeout();
+            if (!drain && timeout > now)
+                next = std::min(next, timeout);
+            for (Cycle t : free_at)
+                if (t > now)
+                    next = std::min(next, t);
+        }
+        if (next == Batcher::kNever || next <= now)
+            throw std::logic_error("serve: scheduler cannot advance");
+        now = next;
+    }
+
+    for (InstanceRecord &instance : result.instances)
+        instance.utilization =
+            result.makespan > 0
+                ? static_cast<double>(instance.busyCycles) /
+                      static_cast<double>(result.makespan)
+                : 0.0;
+
+    result.stats =
+        computeServeStats(result.requests, result.batches,
+                          result.instances, result.makespan,
+                          result.clockHz);
+    return result;
+}
+
+ServeResult
+runServe(const ServeConfig &config)
+{
+    return Scheduler(config).run();
+}
+
+} // namespace hygcn::serve

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * The serving cluster: a Batcher that queues arrived requests per
+ * scenario and a Scheduler that dispatches formed batches across N
+ * replicated accelerator instances in an event-driven loop. Service
+ * times come from one deterministic Platform run per scenario (runs
+ * are pure functions of their spec, so every instance replaying the
+ * same scenario takes exactly those cycles), with co-batched
+ * requests amortizing all but a configurable marginal fraction.
+ */
+
+#ifndef HYGCN_SERVE_SCHEDULER_HPP
+#define HYGCN_SERVE_SCHEDULER_HPP
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "serve/serve_stats.hpp"
+#include "serve/workload.hpp"
+
+namespace hygcn::serve {
+
+/** Complete, reproducible outcome of one serving simulation. */
+struct ServeResult
+{
+    /** The config this result answers (echoed into JSON). */
+    ServeConfig config;
+
+    /** Per-request lifecycle records, indexed by request id. */
+    std::vector<RequestRecord> requests;
+
+    /** Dispatched batches, in dispatch order. */
+    std::vector<BatchRecord> batches;
+
+    /** Per-instance utilization accounting. */
+    std::vector<InstanceRecord> instances;
+
+    /** Unit service cycles per scenario (one Platform run each). */
+    std::vector<Cycle> scenarioUnitCycles;
+
+    /** Platform clock, for cycles -> seconds conversions. */
+    double clockHz = 1e9;
+
+    /** Last batch completion cycle. */
+    Cycle makespan = 0;
+
+    /** Aggregate metrics (throughput, percentiles, utilization). */
+    ServeStats stats;
+};
+
+/**
+ * FIFO batching queues, one per scenario (only same-scenario
+ * requests share weights/graph and can ride one batch). A queue is
+ * dispatchable once it holds a full batch, its head has waited out
+ * the batch timeout, or the stream has drained.
+ */
+class Batcher
+{
+  public:
+    /** Sentinel for "no pending timeout". */
+    static constexpr Cycle kNever = ~Cycle{0};
+
+    Batcher(std::uint32_t max_batch, Cycle timeout_cycles,
+            std::size_t num_scenarios);
+
+    /** Queue an arrived request (FIFO within its scenario). */
+    void admit(const ServeRequest &request);
+
+    /** Requests queued and not yet popped. */
+    std::size_t pending() const { return pending_; }
+
+    bool empty() const { return pending_ == 0; }
+
+    /**
+     * True if some queue can dispatch at @p now. @p drain means no
+     * further arrivals exist, so under-full batches stop waiting.
+     */
+    bool ready(Cycle now, bool drain) const;
+
+    /**
+     * Pop the dispatchable batch whose head request arrived first
+     * (ties to the lowest scenario index): up to maxBatch requests
+     * from the front of one queue. Precondition: ready(now, drain).
+     */
+    std::vector<ServeRequest> pop(Cycle now, bool drain);
+
+    /** Earliest cycle a queue head's batch timeout expires. */
+    Cycle nextTimeout() const;
+
+  private:
+    /** Dispatchable at @p now? (full / timed out / draining) */
+    bool queueReady(const std::deque<ServeRequest> &queue, Cycle now,
+                    bool drain) const;
+
+    std::uint32_t maxBatch_;
+    Cycle timeoutCycles_;
+    std::vector<std::deque<ServeRequest>> queues_;
+    std::size_t pending_ = 0;
+};
+
+/**
+ * Event-driven serving simulation: generates the request stream,
+ * prices each scenario with one Platform run, then advances cluster
+ * time over arrivals, batch timeouts, and instance completions.
+ * Deterministic: equal configs yield equal results, including the
+ * full per-request trace.
+ */
+class Scheduler
+{
+  public:
+    explicit Scheduler(ServeConfig config);
+
+    /** Resolve config.platform from the Registry and simulate. */
+    ServeResult run() const;
+
+    /**
+     * Simulate on an explicit platform (ignoring config.platform's
+     * registry key), so the scheduler is drivable with a stub and
+     * the serve layer carries no registry dependency of its own.
+     */
+    ServeResult run(const api::Platform &platform) const;
+
+  private:
+    ServeConfig config_;
+};
+
+/** Service cycles of a batch of @p size unit-cost-@p unit requests. */
+Cycle batchServiceCycles(Cycle unit, std::size_t size,
+                         double marginal_fraction);
+
+/** Convenience: Scheduler(config).run(). */
+ServeResult runServe(const ServeConfig &config);
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_SCHEDULER_HPP

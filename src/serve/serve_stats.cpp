@@ -1,0 +1,55 @@
+#include "serve/serve_stats.hpp"
+
+#include <algorithm>
+
+#include "sim/stats.hpp"
+
+namespace hygcn::serve {
+
+ServeStats
+computeServeStats(const std::vector<RequestRecord> &requests,
+                  const std::vector<BatchRecord> &batches,
+                  const std::vector<InstanceRecord> &instances,
+                  Cycle makespan, double clock_hz)
+{
+    ServeStats stats;
+    stats.requests = requests.size();
+    stats.batches = batches.size();
+    stats.makespanCycles = makespan;
+    if (!batches.empty())
+        stats.meanBatchSize = static_cast<double>(requests.size()) /
+                              static_cast<double>(batches.size());
+
+    const double makespan_secs =
+        clock_hz > 0.0 ? static_cast<double>(makespan) / clock_hz : 0.0;
+    if (makespan_secs > 0.0)
+        stats.throughputRps =
+            static_cast<double>(requests.size()) / makespan_secs;
+
+    std::vector<double> latencies;
+    latencies.reserve(requests.size());
+    double wait_sum = 0.0, latency_sum = 0.0;
+    for (const RequestRecord &r : requests) {
+        const double latency = static_cast<double>(r.latency());
+        latencies.push_back(latency);
+        latency_sum += latency;
+        wait_sum += static_cast<double>(r.queueWait());
+        stats.maxLatencyCycles = std::max(stats.maxLatencyCycles, latency);
+    }
+    if (!requests.empty()) {
+        const double n = static_cast<double>(requests.size());
+        stats.meanQueueWaitCycles = wait_sum / n;
+        stats.meanLatencyCycles = latency_sum / n;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    stats.p50LatencyCycles = percentileSorted(latencies, 50.0);
+    stats.p95LatencyCycles = percentileSorted(latencies, 95.0);
+    stats.p99LatencyCycles = percentileSorted(latencies, 99.0);
+
+    stats.instanceUtilization.reserve(instances.size());
+    for (const InstanceRecord &inst : instances)
+        stats.instanceUtilization.push_back(inst.utilization);
+    return stats;
+}
+
+} // namespace hygcn::serve

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * Per-request, per-batch, and per-instance outcome records of a
+ * serving simulation, and the aggregate ServeStats derived from them
+ * (throughput, utilization, latency percentiles). The percentile
+ * math itself lives in sim/stats so any consumer of StatGroup-style
+ * metrics can reuse it.
+ */
+
+#ifndef HYGCN_SERVE_SERVE_STATS_HPP
+#define HYGCN_SERVE_SERVE_STATS_HPP
+
+#include <cstdint>
+#include <vector>
+
+#include "sim/types.hpp"
+
+namespace hygcn::serve {
+
+/** Lifecycle of one request: queued at arrival, served in a batch. */
+struct RequestRecord
+{
+    std::uint64_t id = 0;
+    std::uint32_t tenant = 0;
+    std::uint32_t scenario = 0;
+
+    /** Arrival into the cluster queue. */
+    Cycle arrival = 0;
+
+    /** Batch dispatch onto an instance (>= arrival). */
+    Cycle dispatch = 0;
+
+    /** Batch completion (> dispatch). */
+    Cycle completion = 0;
+
+    /** Instance that served the request. */
+    std::uint32_t instance = 0;
+
+    /** Batch the request rode in. */
+    std::uint64_t batch = 0;
+
+    Cycle queueWait() const { return dispatch - arrival; }
+    Cycle latency() const { return completion - arrival; }
+};
+
+/** One dispatched batch: same-scenario requests served together. */
+struct BatchRecord
+{
+    std::uint64_t id = 0;
+    std::uint32_t scenario = 0;
+    std::uint32_t instance = 0;
+    Cycle dispatch = 0;
+    Cycle completion = 0;
+
+    /** Member requests, in queue order. */
+    std::vector<std::uint64_t> requestIds;
+
+    Cycle serviceCycles() const { return completion - dispatch; }
+};
+
+/** Utilization accounting for one accelerator instance. */
+struct InstanceRecord
+{
+    std::uint32_t id = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t requests = 0;
+
+    /** Cycles spent serving batches. */
+    Cycle busyCycles = 0;
+
+    /** busyCycles / makespan (0 for an empty run). */
+    double utilization = 0.0;
+};
+
+/** Aggregate serving metrics over one simulated run. */
+struct ServeStats
+{
+    std::uint64_t requests = 0;
+    std::uint64_t batches = 0;
+    double meanBatchSize = 0.0;
+
+    /** Last completion cycle. */
+    Cycle makespanCycles = 0;
+
+    /** Requests per second at the platform clock. */
+    double throughputRps = 0.0;
+
+    double meanQueueWaitCycles = 0.0;
+    double meanLatencyCycles = 0.0;
+    double p50LatencyCycles = 0.0;
+    double p95LatencyCycles = 0.0;
+    double p99LatencyCycles = 0.0;
+    double maxLatencyCycles = 0.0;
+
+    /** Per-instance busy fraction, indexed by instance id. */
+    std::vector<double> instanceUtilization;
+};
+
+/** Derive the aggregate stats of a finished run. */
+ServeStats computeServeStats(const std::vector<RequestRecord> &requests,
+                             const std::vector<BatchRecord> &batches,
+                             const std::vector<InstanceRecord> &instances,
+                             Cycle makespan, double clock_hz);
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_SERVE_STATS_HPP

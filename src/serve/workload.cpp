@@ -1,0 +1,131 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace hygcn::serve {
+
+namespace {
+
+/** Cumulative sums of @p weights; throws unless all > 0. */
+std::vector<double>
+cumulate(const std::vector<double> &weights, const char *what)
+{
+    std::vector<double> cumulative;
+    cumulative.reserve(weights.size());
+    double sum = 0.0;
+    for (double w : weights) {
+        if (!(w > 0.0))
+            throw std::invalid_argument(std::string("serve: ") + what +
+                                        " weights must be positive");
+        sum += w;
+        cumulative.push_back(sum);
+    }
+    return cumulative;
+}
+
+} // namespace
+
+void
+ServeConfig::validate() const
+{
+    if (scenarios.empty())
+        throw std::invalid_argument("serve: config has no scenarios");
+    for (const ServeScenario &s : scenarios)
+        if (s.name.empty())
+            throw std::invalid_argument("serve: scenario without a name");
+    for (const TenantMix &t : tenants) {
+        if (!(t.weight > 0.0))
+            throw std::invalid_argument("serve: tenant \"" + t.name +
+                                        "\" weight must be positive");
+        if (!t.scenarioWeights.empty() &&
+            t.scenarioWeights.size() != scenarios.size())
+            throw std::invalid_argument(
+                "serve: tenant \"" + t.name + "\" has " +
+                std::to_string(t.scenarioWeights.size()) +
+                " scenario weights for " +
+                std::to_string(scenarios.size()) + " scenarios");
+        for (double w : t.scenarioWeights)
+            if (!(w > 0.0))
+                throw std::invalid_argument(
+                    "serve: tenant \"" + t.name +
+                    "\" scenario weights must be positive");
+    }
+    if (numRequests == 0)
+        throw std::invalid_argument("serve: numRequests must be >= 1");
+    if (!(meanInterarrivalCycles >= 0.0))
+        throw std::invalid_argument(
+            "serve: meanInterarrivalCycles must be >= 0");
+    if (instances == 0)
+        throw std::invalid_argument("serve: instances must be >= 1");
+    if (maxBatch == 0)
+        throw std::invalid_argument("serve: maxBatch must be >= 1");
+    if (!(batchMarginalFraction >= 0.0))
+        throw std::invalid_argument(
+            "serve: batchMarginalFraction must be >= 0");
+}
+
+RequestGenerator::RequestGenerator(const ServeConfig &config)
+    : numRequests_(config.numRequests),
+      meanGap_(config.meanInterarrivalCycles),
+      rng_(config.seed)
+{
+    config.validate();
+
+    std::vector<TenantMix> tenants = config.tenants;
+    if (tenants.empty())
+        tenants.push_back(TenantMix{});
+
+    std::vector<double> tenant_weights;
+    tenant_weights.reserve(tenants.size());
+    for (const TenantMix &t : tenants)
+        tenant_weights.push_back(t.weight);
+    tenantCumulative_ = cumulate(tenant_weights, "tenant");
+
+    const std::vector<double> uniform(config.scenarios.size(), 1.0);
+    for (const TenantMix &t : tenants)
+        scenarioCumulative_.push_back(cumulate(
+            t.scenarioWeights.empty() ? uniform : t.scenarioWeights,
+            "scenario"));
+}
+
+std::uint32_t
+RequestGenerator::draw(const std::vector<double> &cumulative)
+{
+    const double u = rng_.nextDouble() * cumulative.back();
+    for (std::size_t i = 0; i + 1 < cumulative.size(); ++i)
+        if (u < cumulative[i])
+            return static_cast<std::uint32_t>(i);
+    return static_cast<std::uint32_t>(cumulative.size() - 1);
+}
+
+ServeRequest
+RequestGenerator::next()
+{
+    // Exponential interarrival gap via inverse transform; u in [0,1)
+    // keeps the log argument in (0,1].
+    const double u = rng_.nextDouble();
+    const double gap = -std::log(1.0 - u) * meanGap_;
+    now_ += static_cast<Cycle>(std::llround(gap));
+
+    ServeRequest request;
+    request.id = nextId_++;
+    request.arrival = now_;
+    request.tenant = draw(tenantCumulative_);
+    request.scenario = draw(scenarioCumulative_[request.tenant]);
+    return request;
+}
+
+std::vector<ServeRequest>
+RequestGenerator::generate()
+{
+    std::vector<ServeRequest> stream;
+    if (nextId_ >= numRequests_)
+        return stream;
+    stream.reserve(numRequests_ - nextId_);
+    while (nextId_ < numRequests_)
+        stream.push_back(next());
+    return stream;
+}
+
+} // namespace hygcn::serve

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Serving workload description and the seeded open-loop request
+ * generator. A ServeConfig names the scenarios a cluster can serve
+ * (each a RunSpec against one platform), the tenants issuing them,
+ * and the arrival process; RequestGenerator turns it into a
+ * deterministic timestamped request stream on sim/rng, so identical
+ * seeds always reproduce identical traffic.
+ */
+
+#ifndef HYGCN_SERVE_WORKLOAD_HPP
+#define HYGCN_SERVE_WORKLOAD_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "api/platform.hpp"
+#include "sim/rng.hpp"
+#include "sim/types.hpp"
+
+namespace hygcn::serve {
+
+/**
+ * One inference type the cluster serves: a named RunSpec. The spec's
+ * platform field is ignored — every scenario of a ServeConfig runs on
+ * the config's platform (the replicated instances are homogeneous).
+ */
+struct ServeScenario
+{
+    /** Stable label echoed into records and JSON ("cora/gcn"). */
+    std::string name;
+
+    /** Dataset/model/seed/scale of one inference of this type. */
+    api::RunSpec spec;
+};
+
+/** One traffic source and its scenario preferences. */
+struct TenantMix
+{
+    std::string name = "default";
+
+    /** Relative share of the request stream (> 0). */
+    double weight = 1.0;
+
+    /**
+     * Relative weight per ServeConfig scenario (same order); empty
+     * selects uniformly across all scenarios.
+     */
+    std::vector<double> scenarioWeights;
+};
+
+/** Everything needed to reproduce one serving simulation. */
+struct ServeConfig
+{
+    /** Registry key of the platform every instance replicates. */
+    std::string platform = "hygcn";
+
+    /** Inference types on offer (>= 1). */
+    std::vector<ServeScenario> scenarios;
+
+    /** Traffic sources; empty means one uniform default tenant. */
+    std::vector<TenantMix> tenants;
+
+    /** Open-loop stream length. */
+    std::uint64_t numRequests = 256;
+
+    /** Mean of the exponential interarrival gap, in cycles. */
+    double meanInterarrivalCycles = 200000.0;
+
+    /** Seed for arrivals and tenant/scenario draws. */
+    std::uint64_t seed = 1;
+
+    /** Replicated accelerator instances (>= 1). */
+    std::uint32_t instances = 1;
+
+    /** Largest batch one instance serves at once (>= 1). */
+    std::uint32_t maxBatch = 8;
+
+    /**
+     * Longest a queue head waits for co-batchable requests before it
+     * dispatches under-full (cycles).
+     */
+    Cycle batchTimeoutCycles = 200000;
+
+    /**
+     * Marginal cost of each request beyond the first in a batch, as
+     * a fraction of the scenario's unit service cycles: weights and
+     * graph structure are already resident, so co-batched inferences
+     * amortize them. 1.0 disables the batching benefit.
+     */
+    double batchMarginalFraction = 0.35;
+
+    /** Throws std::invalid_argument on an unserveable config. */
+    void validate() const;
+};
+
+/** One timestamped inference request of the open-loop stream. */
+struct ServeRequest
+{
+    /** Stream position, 0-based; also the record index. */
+    std::uint64_t id = 0;
+
+    /** Index into ServeConfig::tenants (0 for the default tenant). */
+    std::uint32_t tenant = 0;
+
+    /** Index into ServeConfig::scenarios. */
+    std::uint32_t scenario = 0;
+
+    /** Arrival time in cluster cycles (non-decreasing in id). */
+    Cycle arrival = 0;
+};
+
+/**
+ * Seeded open-loop arrival process: exponential interarrival gaps,
+ * tenants drawn by weight, scenarios by the tenant's mix. The
+ * generator never looks at service state — arrivals are independent
+ * of how fast the cluster drains them.
+ */
+class RequestGenerator
+{
+  public:
+    explicit RequestGenerator(const ServeConfig &config);
+
+    /** Next request in arrival order. */
+    ServeRequest next();
+
+    /** The remaining requests, through config.numRequests. */
+    std::vector<ServeRequest> generate();
+
+  private:
+    /** Index drawn from a cumulative weight table. */
+    std::uint32_t draw(const std::vector<double> &cumulative);
+
+    std::uint64_t numRequests_;
+    double meanGap_;
+    std::vector<double> tenantCumulative_;
+    std::vector<std::vector<double>> scenarioCumulative_;
+    Rng rng_;
+    std::uint64_t nextId_ = 0;
+    Cycle now_ = 0;
+};
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_WORKLOAD_HPP

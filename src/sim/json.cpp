@@ -4,6 +4,7 @@
 #include <map>
 
 #include "api/platform.hpp"
+#include "serve/scheduler.hpp"
 
 namespace hygcn {
 
@@ -185,6 +186,132 @@ toJson(const std::vector<api::RunResult> &sweep)
         out += toJson(sweep[i]);
     }
     out += "]";
+    return out;
+}
+
+std::string
+toJson(const serve::ServeConfig &config)
+{
+    std::string out = "{";
+    out += "\"platform\":\"" + jsonEscape(config.platform) + "\",";
+
+    out += "\"scenarios\":[";
+    for (std::size_t i = 0; i < config.scenarios.size(); ++i) {
+        if (i)
+            out += ",";
+        out += "{\"name\":\"" + jsonEscape(config.scenarios[i].name) +
+               "\",\"spec\":" + toJson(config.scenarios[i].spec) + "}";
+    }
+    out += "],";
+
+    out += "\"tenants\":[";
+    for (std::size_t i = 0; i < config.tenants.size(); ++i) {
+        const serve::TenantMix &t = config.tenants[i];
+        if (i)
+            out += ",";
+        out += "{\"name\":\"" + jsonEscape(t.name) +
+               "\",\"weight\":" + number(t.weight) +
+               ",\"scenario_weights\":[";
+        for (std::size_t j = 0; j < t.scenarioWeights.size(); ++j) {
+            if (j)
+                out += ",";
+            out += number(t.scenarioWeights[j]);
+        }
+        out += "]}";
+    }
+    out += "],";
+
+    out += "\"num_requests\":" + std::to_string(config.numRequests) + ",";
+    out += "\"mean_interarrival_cycles\":" +
+           number(config.meanInterarrivalCycles) + ",";
+    out += "\"seed\":" + std::to_string(config.seed) + ",";
+    out += "\"instances\":" + std::to_string(config.instances) + ",";
+    out += "\"max_batch\":" + std::to_string(config.maxBatch) + ",";
+    out += "\"batch_timeout_cycles\":" +
+           std::to_string(config.batchTimeoutCycles) + ",";
+    out += "\"batch_marginal_fraction\":" +
+           number(config.batchMarginalFraction);
+    out += "}";
+    return out;
+}
+
+std::string
+toJson(const serve::ServeResult &result, bool per_request)
+{
+    const serve::ServeStats &stats = result.stats;
+    std::string out = "{";
+    out += "\"config\":" + toJson(result.config) + ",";
+
+    out += "\"stats\":{";
+    out += "\"requests\":" + std::to_string(stats.requests) + ",";
+    out += "\"batches\":" + std::to_string(stats.batches) + ",";
+    out += "\"mean_batch_size\":" + number(stats.meanBatchSize) + ",";
+    out += "\"makespan_cycles\":" + std::to_string(stats.makespanCycles) +
+           ",";
+    out += "\"throughput_rps\":" + number(stats.throughputRps) + ",";
+    out += "\"latency_cycles\":{";
+    out += "\"mean\":" + number(stats.meanLatencyCycles) + ",";
+    out += "\"p50\":" + number(stats.p50LatencyCycles) + ",";
+    out += "\"p95\":" + number(stats.p95LatencyCycles) + ",";
+    out += "\"p99\":" + number(stats.p99LatencyCycles) + ",";
+    out += "\"max\":" + number(stats.maxLatencyCycles);
+    out += "},";
+    out += "\"mean_queue_wait_cycles\":" +
+           number(stats.meanQueueWaitCycles) + ",";
+    out += "\"instance_utilization\":[";
+    for (std::size_t i = 0; i < stats.instanceUtilization.size(); ++i) {
+        if (i)
+            out += ",";
+        out += number(stats.instanceUtilization[i]);
+    }
+    out += "]},";
+
+    out += "\"scenario_unit_cycles\":[";
+    for (std::size_t i = 0; i < result.scenarioUnitCycles.size(); ++i) {
+        if (i)
+            out += ",";
+        out += std::to_string(result.scenarioUnitCycles[i]);
+    }
+    out += "],";
+    out += "\"clock_hz\":" + number(result.clockHz) + ",";
+    out += "\"makespan_cycles\":" + std::to_string(result.makespan);
+
+    if (per_request) {
+        out += ",\"requests\":[";
+        for (std::size_t i = 0; i < result.requests.size(); ++i) {
+            const serve::RequestRecord &r = result.requests[i];
+            if (i)
+                out += ",";
+            out += "{\"id\":" + std::to_string(r.id) +
+                   ",\"tenant\":" + std::to_string(r.tenant) +
+                   ",\"scenario\":" + std::to_string(r.scenario) +
+                   ",\"arrival\":" + std::to_string(r.arrival) +
+                   ",\"dispatch\":" + std::to_string(r.dispatch) +
+                   ",\"completion\":" + std::to_string(r.completion) +
+                   ",\"instance\":" + std::to_string(r.instance) +
+                   ",\"batch\":" + std::to_string(r.batch) + "}";
+        }
+        out += "],\"batches\":[";
+        for (std::size_t i = 0; i < result.batches.size(); ++i) {
+            const serve::BatchRecord &b = result.batches[i];
+            if (i)
+                out += ",";
+            out += "{\"id\":" + std::to_string(b.id) +
+                   ",\"scenario\":" + std::to_string(b.scenario) +
+                   ",\"instance\":" + std::to_string(b.instance) +
+                   ",\"dispatch\":" + std::to_string(b.dispatch) +
+                   ",\"completion\":" + std::to_string(b.completion) +
+                   ",\"request_ids\":[";
+            for (std::size_t j = 0; j < b.requestIds.size(); ++j) {
+                if (j)
+                    out += ",";
+                out += std::to_string(b.requestIds[j]);
+            }
+            out += "]}";
+        }
+        out += "]";
+    }
+    out += "}";
     return out;
 }
 

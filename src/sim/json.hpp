@@ -19,6 +19,11 @@ struct RunSpec;
 struct RunResult;
 } // namespace hygcn::api
 
+namespace hygcn::serve {
+struct ServeConfig;
+struct ServeResult;
+} // namespace hygcn::serve
+
 namespace hygcn {
 
 /** Escape a string for inclusion in a JSON document. */
@@ -45,6 +50,21 @@ std::string toJson(const api::RunResult &result);
  * directly. Deterministic in the sweep's expansion order.
  */
 std::string toJson(const std::vector<api::RunResult> &sweep);
+
+/**
+ * Serialize a serving config: platform, scenarios, tenants, arrival
+ * process, and batching knobs.
+ */
+std::string toJson(const serve::ServeConfig &config);
+
+/**
+ * Serialize a serving run: the config echo, aggregate stats
+ * (throughput, utilization, latency percentiles), per-scenario unit
+ * service cycles, and — when @p per_request — the full per-request
+ * and per-batch trace. Deterministic in the config.
+ */
+std::string toJson(const serve::ServeResult &result,
+                   bool per_request = true);
 
 } // namespace hygcn
 

@@ -1,6 +1,31 @@
 #include "sim/stats.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace hygcn {
+
+double
+percentile(std::vector<double> samples, double p)
+{
+    std::sort(samples.begin(), samples.end());
+    return percentileSorted(samples, p);
+}
+
+double
+percentileSorted(const std::vector<double> &sorted, double p)
+{
+    if (sorted.empty())
+        return 0.0;
+    const double clamped = std::min(std::max(p, 0.0), 100.0);
+    const double rank =
+        clamped / 100.0 * static_cast<double>(sorted.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(rank);
+    if (lo + 1 >= sorted.size())
+        return sorted.back();
+    const double frac = rank - static_cast<double>(lo);
+    return sorted[lo] + (sorted[lo + 1] - sorted[lo]) * frac;
+}
 
 void
 StatGroup::add(const std::string &name, std::uint64_t delta)

@@ -11,8 +11,23 @@
 #include <cstdint>
 #include <map>
 #include <string>
+#include <vector>
 
 namespace hygcn {
+
+/**
+ * The @p p-th percentile (p in [0,100]) of @p samples by linear
+ * interpolation between closest ranks, the convention numpy and most
+ * plotting stacks default to. Sorts its by-value argument; 0.0 for an
+ * empty sample set.
+ */
+double percentile(std::vector<double> samples, double p);
+
+/**
+ * percentile() for samples already sorted ascending, so several
+ * percentiles of one data set cost a single sort.
+ */
+double percentileSorted(const std::vector<double> &sorted, double p);
 
 /**
  * A flat bag of named 64-bit counters plus named double gauges.

@@ -1,0 +1,98 @@
+/**
+ * Golden-file regression tests: byte-exact JSON of a small fixed
+ * Session sweep and a fixed seeded ServeSession run, pinned against
+ * checked-in fixtures under tests/goldens/. Any behavior change in
+ * the hot path — timing, energy, stats, scheduling, serialization —
+ * shows up as a diff here instead of sliding silently.
+ *
+ * Regenerate after an intentional change with tests/update_goldens.sh
+ * (runs this binary with HYGCN_UPDATE_GOLDENS=1).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "api/serve_session.hpp"
+#include "api/session.hpp"
+#include "sim/json.hpp"
+
+using namespace hygcn;
+
+namespace {
+
+std::string
+goldenPath(const std::string &name)
+{
+    return std::string(HYGCN_GOLDEN_DIR) + "/" + name;
+}
+
+bool
+updating()
+{
+    const char *env = std::getenv("HYGCN_UPDATE_GOLDENS");
+    return env != nullptr && *env != '\0' && std::string(env) != "0";
+}
+
+/**
+ * Compare @p json byte-exactly against the checked-in golden, or
+ * rewrite the golden when HYGCN_UPDATE_GOLDENS is set.
+ */
+void
+compareOrUpdate(const std::string &name, const std::string &json)
+{
+    const std::string path = goldenPath(name);
+    if (updating()) {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        ASSERT_TRUE(out.good()) << "cannot write " << path;
+        out << json << "\n";
+        ASSERT_TRUE(out.good()) << "short write to " << path;
+        std::printf("updated %s (%zu bytes)\n", path.c_str(),
+                    json.size() + 1);
+        return;
+    }
+
+    std::ifstream in(path, std::ios::binary);
+    ASSERT_TRUE(in.good())
+        << "missing golden " << path
+        << "; generate it with tests/update_goldens.sh";
+    std::ostringstream content;
+    content << in.rdbuf();
+    EXPECT_EQ(content.str(), json + "\n")
+        << "golden " << name << " diverged; if the change is "
+        << "intentional, regenerate with tests/update_goldens.sh";
+}
+
+} // namespace
+
+TEST(Goldens, SessionSweepJsonIsByteStable)
+{
+    // Small fixed sweep: Aggregation-Engine-only runs over scaled
+    // Cora, 2x2 parameter grid. Everything here is pinned — seed,
+    // scale, expansion order, JSON formatting.
+    const std::vector<api::RunResult> runs =
+        api::Session()
+            .platform("hygcn-agg")
+            .dataset(DatasetId::CR)
+            .datasetScale(0.2)
+            .model(ModelId::GCN)
+            .seed(11)
+            .vary("sparsityElimination", {0.0, 1.0})
+            .vary("aggBufBytes", {1.0 * (1 << 20), 4.0 * (1 << 20)})
+            .threads(1)
+            .runAll();
+    ASSERT_EQ(runs.size(), 4u);
+    compareOrUpdate("session_sweep.json", toJson(runs));
+}
+
+TEST(Goldens, ServeRunJsonIsByteStable)
+{
+    // The registered smoke workload, per-request trace included.
+    const serve::ServeResult result =
+        api::ServeSession::workload("serve-smoke").run();
+    ASSERT_EQ(result.requests.size(), result.config.numRequests);
+    compareOrUpdate("serve_run.json", toJson(result));
+}

@@ -63,3 +63,29 @@ TEST(StatGroup, CountersIterable)
         total += v;
     EXPECT_EQ(total, 3u);
 }
+
+TEST(Percentile, EmptyAndSingle)
+{
+    EXPECT_DOUBLE_EQ(percentile({}, 50.0), 0.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 0.0), 7.0);
+    EXPECT_DOUBLE_EQ(percentile({7.0}, 99.0), 7.0);
+}
+
+TEST(Percentile, InterpolatesBetweenClosestRanks)
+{
+    // numpy.percentile([1..5], p) convention.
+    const std::vector<double> v = {5.0, 1.0, 3.0, 2.0, 4.0}; // unsorted
+    EXPECT_DOUBLE_EQ(percentile(v, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 50.0), 3.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 100.0), 5.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 25.0), 2.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 10.0), 1.4);
+    EXPECT_DOUBLE_EQ(percentile(v, 95.0), 4.8);
+}
+
+TEST(Percentile, ClampsOutOfRangeP)
+{
+    const std::vector<double> v = {1.0, 2.0};
+    EXPECT_DOUBLE_EQ(percentile(v, -5.0), 1.0);
+    EXPECT_DOUBLE_EQ(percentile(v, 200.0), 2.0);
+}

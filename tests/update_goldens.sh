@@ -1,0 +1,21 @@
+#!/bin/sh
+# Regenerate the golden JSON fixtures under tests/goldens/ after an
+# intentional behavior change. Run from the repo root with the build
+# directory as the optional first argument:
+#
+#   tests/update_goldens.sh [build-dir]
+#
+# Goldens are byte-exact, so regenerate them on the same
+# toolchain/platform class the CI comparison runs on; review the diff
+# before committing — every changed byte is a behavior change.
+set -eu
+
+BUILD=${1:-build}
+BIN="$BUILD/tests/test_goldens"
+
+if [ ! -x "$BIN" ]; then
+    echo "error: $BIN not built; run: cmake --build $BUILD -j" >&2
+    exit 1
+fi
+
+HYGCN_UPDATE_GOLDENS=1 "$BIN"
