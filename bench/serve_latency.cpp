@@ -3,14 +3,26 @@
  * Serving-scale companion to the Figure 18 scalability study: one
  * seeded open-loop request stream (full-size Cora + Citeseer GCN
  * inferences) replayed against clusters of 1..8 replicated HyGCN
- * instances. Reports throughput, per-instance utilization, and
- * p50/p95/p99 latency per cluster size, and checks that tail latency
- * is monotonically non-increasing in the replica count (or reports
- * the saturation point past which adding instances stops helping).
+ * instances, plus the three scheduling policies head-to-head on the
+ * 4-instance cluster. Reports throughput, per-instance utilization,
+ * and p50/p95/p99 latency per configuration, and checks that tail
+ * latency is monotonically non-increasing in the replica count (or
+ * reports the saturation point past which adding instances stops
+ * helping). Scenario pricing is shared across every configuration
+ * through the process-wide PricedScenarioCache, so the accelerator
+ * simulates each scenario exactly once.
+ *
+ * With --json PATH the harness also writes the machine-readable
+ * BENCH_serve.json consumed by the CI bench-regression gate; latency
+ * metrics are in cycles, which are deterministic in the config and
+ * therefore portable across CI hosts.
  */
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
 #include <vector>
 
 #include "api/serve_session.hpp"
@@ -42,11 +54,44 @@ workload(std::uint32_t instances)
     return config;
 }
 
+/** The same stream under a named policy, with SLO'd tenants so EDF
+ *  and fair share have something to act on. */
+serve::ServeConfig
+policyWorkload(const std::string &policy)
+{
+    serve::ServeConfig config = workload(4);
+    config.policy = policy;
+    config.tenants = {
+        serve::TenantMix{"interactive", 0.7, {3.0, 1.0}, 2000000, 0.0},
+        serve::TenantMix{"analytics", 0.3, {1.0, 3.0}, 0, 1.0}};
+    return config;
+}
+
+struct SeriesPoint
+{
+    std::uint32_t instances = 0;
+    serve::ServeStats stats;
+};
+
+std::string
+number(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
     banner("serve_latency",
            "request-serving scalability, 1..8 HyGCN instances "
            "(GCN on full CR+CS, 512 seeded requests)");
@@ -56,8 +101,7 @@ main()
     header("instances", {"thru rps", "p50 kcyc", "p95 kcyc",
                          "p99 kcyc", "util %", "min ut %"});
 
-    std::vector<double> p99;
-    std::vector<std::uint32_t> counts;
+    std::vector<SeriesPoint> series;
     for (std::uint32_t instances = 1; instances <= 8; instances *= 2) {
         const serve::ServeResult result =
             serve::runServe(workload(instances));
@@ -72,27 +116,90 @@ main()
              stats.p95LatencyCycles / 1e3, stats.p99LatencyCycles / 1e3,
              util_sum / static_cast<double>(instances) * 100.0,
              util_min * 100.0});
-        p99.push_back(stats.p99LatencyCycles);
-        counts.push_back(instances);
+        series.push_back({instances, stats});
+    }
+
+    // Policies head-to-head on the 4-instance cluster: identical
+    // traffic, different dispatch order.
+    std::printf("\nscheduling policies, 4 instances, two tenants "
+                "(interactive SLO 2 Mcycles / analytics best-effort)\n");
+    header("policy", {"thru rps", "p99 kcyc", "int p99", "slo miss"});
+    std::vector<std::pair<std::string, serve::ServeStats>> policies;
+    for (const char *policy : {"fifo", "edf", "fair-share"}) {
+        const serve::ServeResult result =
+            serve::runServe(policyWorkload(policy));
+        const serve::ServeStats &stats = result.stats;
+        row(policy,
+            {stats.throughputRps, stats.p99LatencyCycles / 1e3,
+             stats.tenantStats.at(0).p99LatencyCycles / 1e3,
+             static_cast<double>(stats.tenantStats.at(0).sloViolations)});
+        policies.emplace_back(policy, stats);
     }
 
     // Tail-latency scaling verdict: non-increasing p99, or the
     // saturation point past which more replicas stop helping.
-    std::size_t saturation = p99.size();
-    for (std::size_t i = 1; i < p99.size(); ++i)
-        if (p99[i] > p99[i - 1] * (1.0 + 1e-9)) {
+    std::size_t saturation = series.size();
+    for (std::size_t i = 1; i < series.size(); ++i)
+        if (series[i].stats.p99LatencyCycles >
+            series[i - 1].stats.p99LatencyCycles * (1.0 + 1e-9)) {
             saturation = i;
             break;
         }
-    if (saturation == p99.size()) {
+    if (saturation == series.size()) {
         std::printf("\np99 latency is monotonically non-increasing in "
                     "the instance count\n");
     } else {
         std::printf("\np99 saturates at %u instances (further replicas "
                     "leave the tail to the arrival process)\n",
-                    counts[saturation - 1]);
+                    series[saturation - 1].instances);
     }
     std::printf("paper trend (Fig 18 spirit): replicas first collapse "
                 "queueing delay, then saturate once arrivals dominate\n");
+
+    if (!json_path.empty()) {
+        std::string out = "{\"bench\":\"serve_latency\",\"series\":[";
+        for (std::size_t i = 0; i < series.size(); ++i) {
+            const serve::ServeStats &s = series[i].stats;
+            if (i)
+                out += ",";
+            out += "{\"instances\":" +
+                   std::to_string(series[i].instances) +
+                   ",\"throughput_rps\":" + number(s.throughputRps) +
+                   ",\"p50_latency_cycles\":" +
+                   number(s.p50LatencyCycles) +
+                   ",\"p95_latency_cycles\":" +
+                   number(s.p95LatencyCycles) +
+                   ",\"p99_latency_cycles\":" +
+                   number(s.p99LatencyCycles) +
+                   ",\"makespan_cycles\":" +
+                   std::to_string(s.makespanCycles) + "}";
+        }
+        out += "],\"policies\":[";
+        for (std::size_t i = 0; i < policies.size(); ++i) {
+            const serve::ServeStats &s = policies[i].second;
+            if (i)
+                out += ",";
+            out += "{\"policy\":\"" + policies[i].first +
+                   "\",\"throughput_rps\":" + number(s.throughputRps) +
+                   ",\"p99_latency_cycles\":" +
+                   number(s.p99LatencyCycles) +
+                   ",\"interactive_p99_cycles\":" +
+                   number(s.tenantStats.at(0).p99LatencyCycles) +
+                   ",\"interactive_slo_violations\":" +
+                   std::to_string(s.tenantStats.at(0).sloViolations) +
+                   "}";
+        }
+        out += "]}";
+        std::ofstream file(json_path,
+                           std::ios::binary | std::ios::trunc);
+        if (!file.good()) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        file << out << "\n";
+        std::printf("wrote %s (%zu bytes)\n", json_path.c_str(),
+                    out.size() + 1);
+    }
     return 0;
 }

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""Gate serving-bench tail latency against the checked-in baseline.
+
+Usage: check_bench_regression.py CURRENT.json BASELINE.json [MAX_REL]
+
+Compares p99_latency_cycles of every (instances) series point and
+every policy entry in BENCH_serve.json against the baseline. Latency
+is measured in simulated cycles, which are deterministic in the
+config, so any drift is a real behavior change, not host noise; the
+gate still allows MAX_REL (default 0.25, i.e. +25%) so intentional
+small model refinements don't have to land in lockstep with a
+baseline refresh.
+
+Exit codes: 0 ok, 1 regression, 2 malformed input.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path, "r", encoding="utf-8") as fh:
+            return json.load(fh)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot read {path}: {exc}", file=sys.stderr)
+        sys.exit(2)
+
+
+def index(doc, section, key):
+    out = {}
+    for entry in doc.get(section, []):
+        out[entry[key]] = entry
+    return out
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__, file=sys.stderr)
+        return 2
+    current = load(argv[1])
+    baseline = load(argv[2])
+    max_rel = float(argv[3]) if len(argv) > 3 else 0.25
+
+    failures = []
+    checked = 0
+    for section, key in (("series", "instances"), ("policies", "policy")):
+        cur = index(current, section, key)
+        base = index(baseline, section, key)
+        missing = sorted(set(base) - set(cur), key=str)
+        if missing:
+            failures.append(f"{section}: missing entries {missing}")
+        for name, base_entry in sorted(base.items(), key=lambda kv: str(kv[0])):
+            if name not in cur:
+                continue
+            base_p99 = float(base_entry["p99_latency_cycles"])
+            cur_p99 = float(cur[name]["p99_latency_cycles"])
+            checked += 1
+            if base_p99 <= 0.0:
+                continue
+            rel = cur_p99 / base_p99 - 1.0
+            tag = f"{section}[{name}] p99 {base_p99:.0f} -> {cur_p99:.0f} cycles ({rel:+.1%})"
+            if rel > max_rel:
+                failures.append(f"REGRESSION {tag} exceeds +{max_rel:.0%}")
+            else:
+                print(f"ok {tag}")
+                if rel < -max_rel:
+                    print(
+                        f"  note: large improvement; consider refreshing "
+                        f"bench/baselines with the new numbers"
+                    )
+
+    if checked == 0:
+        failures.append("no comparable p99 entries found")
+    for failure in failures:
+        print(failure, file=sys.stderr)
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

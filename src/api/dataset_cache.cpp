@@ -1,12 +1,14 @@
 #include "api/dataset_cache.hpp"
 
+#include "api/registry.hpp"
+
 namespace hygcn::api {
 
 const Dataset &
 DatasetCache::get(DatasetId id, double scale, std::uint64_t seed)
 {
     const double norm_scale = scale <= 0.0 ? 0.0 : scale;
-    const Key key{static_cast<int>(id), norm_scale, seed};
+    const Key key{std::string(), static_cast<int>(id), norm_scale, seed};
 
     // The map mutex only guards slot lookup/creation; generation
     // itself runs under the slot's once_flag so workers needing a
@@ -25,6 +27,41 @@ DatasetCache::get(DatasetId id, double scale, std::uint64_t seed)
         entry->data = std::make_unique<Dataset>(
             norm_scale == 0.0 ? makeDatasetScaledDefault(id, seed)
                               : makeDataset(id, seed, norm_scale));
+    });
+    return *entry->data;
+}
+
+const Dataset &
+DatasetCache::get(const std::string &name, double scale,
+                  std::uint64_t seed)
+{
+    // Resolve unknown names before touching the slot: an exception
+    // escaping a call_once leaves the once_flag wedged under some
+    // pthread_once interceptors (tsan), deadlocking the next caller.
+    // This also keeps a get() before registerDataset() retryable.
+    if (!Registry::global().hasDataset(name))
+        Registry::global().makeDataset(name, seed, scale); // throws
+
+    const double norm_scale = scale <= 0.0 ? 0.0 : scale;
+    // Sentinel id -1: DatasetId values are >= 0, so a named entry can
+    // never alias a built-in slot, whatever the name.
+    const Key key{name, -1, norm_scale, seed};
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, std::make_shared<Entry>()).first;
+        entry = it->second;
+    }
+    // The registry factory (which may be a built-in alias or a
+    // registered custom generator) runs under the slot's once_flag,
+    // same as the id path: concurrent first-touches of different
+    // names never serialize, while each name builds exactly once.
+    std::call_once(entry->once, [&] {
+        entry->data = std::make_unique<Dataset>(
+            Registry::global().makeDataset(name, seed, norm_scale));
     });
     return *entry->data;
 }

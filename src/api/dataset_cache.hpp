@@ -3,8 +3,9 @@
  * Thread-safe, process-wide dataset cache. Synthetic benchmark
  * datasets are expensive to generate (Reddit takes seconds), so
  * every consumer — bench harnesses, parallel sweeps, tests — shares
- * one cache keyed by (dataset, scale, seed). References returned by
- * get() stay valid for the lifetime of the cache.
+ * one cache keyed by (dataset, scale, seed); registered custom
+ * datasets cache by registry name. References returned by get() stay
+ * valid for the lifetime of the cache.
  */
 
 #ifndef HYGCN_API_DATASET_CACHE_HPP
@@ -13,6 +14,7 @@
 #include <map>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <tuple>
 
 #include "graph/dataset.hpp"
@@ -32,6 +34,15 @@ class DatasetCache
     const Dataset &get(DatasetId id, double scale = 0.0,
                        std::uint64_t seed = 1);
 
+    /**
+     * Registered custom dataset @p name (a Registry::registerDataset
+     * key) at @p scale / @p seed, built through the registry factory
+     * on first touch. Same lifetime and thread-safety guarantees as
+     * the id overload. Throws std::out_of_range on unknown names.
+     */
+    const Dataset &get(const std::string &name, double scale = 0.0,
+                       std::uint64_t seed = 1);
+
     /** Drop every cached dataset (invalidates get() references). */
     void clear();
 
@@ -42,7 +53,9 @@ class DatasetCache
     static DatasetCache &global();
 
   private:
-    using Key = std::tuple<int, double, std::uint64_t>;
+    /** Built-in ids key as ("", id, ...); custom names as
+     *  (name, -1, ...) — ids are >= 0, so the slots never alias. */
+    using Key = std::tuple<std::string, int, double, std::uint64_t>;
 
     /**
      * One cache slot; built at most once, outside the map mutex.

@@ -10,7 +10,8 @@ std::string
 RunSpec::label() const
 {
     std::string out =
-        platform + "/" + modelAbbrev(model) + "/" + datasetAbbrev(dataset);
+        platform + "/" + (modelName.empty() ? modelAbbrev(model) : modelName) +
+        "/" + (datasetName.empty() ? datasetAbbrev(dataset) : datasetName);
     for (const auto &[key, value] : varied) {
         char buf[64];
         std::snprintf(buf, sizeof(buf), " %s=%.6g", key.c_str(), value);

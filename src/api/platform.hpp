@@ -37,6 +37,18 @@ struct RunSpec
     DatasetId dataset = DatasetId::CR;
     ModelId model = ModelId::GCN;
 
+    /**
+     * Registry name of a registered custom dataset; when non-empty
+     * it overrides the built-in id above, making registerDataset()
+     * factories addressable from a spec (cached by name in
+     * DatasetCache).
+     */
+    std::string datasetName;
+
+    /** Registry name of a registered custom model; when non-empty it
+     *  overrides the built-in id above. */
+    std::string modelName;
+
     /** Convolution iterations k (makeModel's num_layers). */
     int numLayers = 2;
 

@@ -29,6 +29,9 @@ namespace {
 const Dataset &
 specDataset(const RunSpec &spec)
 {
+    if (!spec.datasetName.empty())
+        return DatasetCache::global().get(
+            spec.datasetName, spec.datasetScale, spec.datasetSeed);
     return DatasetCache::global().get(spec.dataset, spec.datasetScale,
                                       spec.datasetSeed);
 }
@@ -36,6 +39,10 @@ specDataset(const RunSpec &spec)
 ModelConfig
 specModel(const RunSpec &spec, const Dataset &data)
 {
+    if (!spec.modelName.empty())
+        return Registry::global().makeModel(spec.modelName,
+                                            data.featureLen,
+                                            spec.numLayers);
     return makeModel(spec.model, data.featureLen, spec.numLayers);
 }
 
@@ -109,7 +116,7 @@ class AggOnlyPlatform : public Platform
     RunResult run(const RunSpec &spec) const override
     {
         rejectUnsupported(spec, name());
-        if (spec.model != ModelId::GCN)
+        if (spec.model != ModelId::GCN || !spec.modelName.empty())
             throw std::invalid_argument(
                 "api: platform \"hygcn-agg\" runs the first GCN "
                 "layer only; spec.model must be GCN");

@@ -4,6 +4,8 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "serve/policy.hpp"
+
 namespace hygcn::api {
 
 /** Defined in platforms.cpp. */
@@ -49,6 +51,16 @@ Registry::Registry()
 {
     registerBuiltinPlatforms(*this);
     registerBuiltinWorkloads(*this);
+
+    registerPolicy("fifo", [](const serve::ServeConfig &config) {
+        return std::make_unique<serve::FifoPolicy>(config);
+    });
+    registerPolicy("edf", [](const serve::ServeConfig &config) {
+        return std::make_unique<serve::EdfPolicy>(config);
+    });
+    registerPolicy("fair-share", [](const serve::ServeConfig &config) {
+        return std::make_unique<serve::FairSharePolicy>(config);
+    });
 
     for (DatasetId id : allDatasets()) {
         auto factory = [id](std::uint64_t seed, double scale) {
@@ -135,6 +147,13 @@ Registry::makeDataset(const std::string &name, std::uint64_t seed,
     return factory(seed, scale);
 }
 
+bool
+Registry::hasDataset(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return datasets_.count(lower(name)) > 0;
+}
+
 DatasetId
 Registry::datasetId(const std::string &name) const
 {
@@ -172,6 +191,13 @@ Registry::makeModel(const std::string &name, int feature_len,
         factory = it->second;
     }
     return factory(feature_len, num_layers);
+}
+
+bool
+Registry::hasModel(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return models_.count(lower(name)) > 0;
 }
 
 ModelId
@@ -224,6 +250,42 @@ Registry::workloadNames() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return keysOf(workloads_);
+}
+
+void
+Registry::registerPolicy(const std::string &name, PolicyFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    policies_[lower(name)] = std::move(factory);
+}
+
+std::unique_ptr<serve::SchedulerPolicy>
+Registry::makePolicy(const std::string &name,
+                     const serve::ServeConfig &config) const
+{
+    PolicyFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = policies_.find(lower(name));
+        if (it == policies_.end())
+            throwUnknown("policy", name, keysOf(policies_));
+        factory = it->second;
+    }
+    return factory(config);
+}
+
+bool
+Registry::hasPolicy(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return policies_.count(lower(name)) > 0;
+}
+
+std::vector<std::string>
+Registry::policyNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(policies_);
 }
 
 } // namespace hygcn::api

@@ -17,7 +17,9 @@
  *
  * Serving *workloads* (named ServeConfig presets, e.g.
  * "serve-smoke") are first-class scenarios too: registerWorkload()
- * makes one runnable via ServeSession::workload(name).
+ * makes one runnable via ServeSession::workload(name), and serving
+ * *scheduler policies* ("fifo", "edf", "fair-share") are pluggable
+ * through registerPolicy()/makePolicy().
  */
 
 #ifndef HYGCN_API_REGISTRY_HPP
@@ -32,6 +34,10 @@
 
 #include "api/platform.hpp"
 #include "serve/workload.hpp"
+
+namespace hygcn::serve {
+class SchedulerPolicy;
+} // namespace hygcn::serve
 
 namespace hygcn::api {
 
@@ -48,6 +54,10 @@ class Registry
         std::function<ModelConfig(int feature_len, int num_layers)>;
     /** Builds a named serving workload preset. */
     using WorkloadFactory = std::function<serve::ServeConfig()>;
+    /** Builds a scheduling policy for a serving config. */
+    using PolicyFactory =
+        std::function<std::unique_ptr<serve::SchedulerPolicy>(
+            const serve::ServeConfig &)>;
 
     /** Constructs a registry pre-loaded with the built-ins. */
     Registry();
@@ -67,6 +77,7 @@ class Registry
     void registerDataset(const std::string &name, DatasetFactory factory);
     Dataset makeDataset(const std::string &name, std::uint64_t seed = 1,
                         double scale = 0.0) const;
+    bool hasDataset(const std::string &name) const;
     /** Resolve a built-in dataset name/abbreviation to its id;
      *  throws std::out_of_range on unknown names. */
     DatasetId datasetId(const std::string &name) const;
@@ -76,6 +87,7 @@ class Registry
     void registerModel(const std::string &name, ModelFactory factory);
     ModelConfig makeModel(const std::string &name, int feature_len,
                           int num_layers = 2) const;
+    bool hasModel(const std::string &name) const;
     /** Resolve a built-in model name to its id; throws
      *  std::out_of_range on unknown names. */
     ModelId modelId(const std::string &name) const;
@@ -89,6 +101,16 @@ class Registry
     bool hasWorkload(const std::string &name) const;
     std::vector<std::string> workloadNames() const;
 
+    // ---- serving scheduler policies ----------------------------
+    void registerPolicy(const std::string &name, PolicyFactory factory);
+    /** Build policy @p name for @p config; throws std::out_of_range
+     *  with the known keys listed if the name is unknown. */
+    std::unique_ptr<serve::SchedulerPolicy>
+    makePolicy(const std::string &name,
+               const serve::ServeConfig &config) const;
+    bool hasPolicy(const std::string &name) const;
+    std::vector<std::string> policyNames() const;
+
   private:
     template <class Map>
     static std::vector<std::string> keysOf(const Map &map);
@@ -100,6 +122,7 @@ class Registry
     std::map<std::string, ModelFactory> models_;
     std::map<std::string, ModelId> modelIds_;
     std::map<std::string, WorkloadFactory> workloads_;
+    std::map<std::string, PolicyFactory> policies_;
 };
 
 } // namespace hygcn::api

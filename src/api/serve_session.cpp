@@ -36,13 +36,56 @@ ServeSession::instances(std::uint32_t count)
 }
 
 ServeSession &
+ServeSession::instanceClass(const std::string &name, std::uint32_t count)
+{
+    serve::ClusterSpec::InstanceClass cls;
+    cls.platform = name;
+    cls.count = count;
+    config_.cluster.classes.push_back(std::move(cls));
+    return *this;
+}
+
+ServeSession &
+ServeSession::instanceClass(const std::string &name, std::uint32_t count,
+                            const HyGCNConfig &config)
+{
+    serve::ClusterSpec::InstanceClass cls;
+    cls.platform = name;
+    cls.count = count;
+    cls.hygcn = config;
+    config_.cluster.classes.push_back(std::move(cls));
+    return *this;
+}
+
+ServeSession &
+ServeSession::policy(const std::string &name)
+{
+    config_.policy = name;
+    return *this;
+}
+
+ServeSession &
 ServeSession::scenario(const std::string &dataset, const std::string &model)
 {
     const Registry &registry = Registry::global();
     serve::ServeScenario scenario;
     scenario.name = dataset + "/" + model;
-    scenario.spec.dataset = registry.datasetId(dataset);
-    scenario.spec.model = registry.modelId(model);
+    // Built-in names resolve to ids; registered custom datasets and
+    // models address by name.
+    try {
+        scenario.spec.dataset = registry.datasetId(dataset);
+    } catch (const std::out_of_range &) {
+        if (!registry.hasDataset(dataset))
+            throw;
+        scenario.spec.datasetName = dataset;
+    }
+    try {
+        scenario.spec.model = registry.modelId(model);
+    } catch (const std::out_of_range &) {
+        if (!registry.hasModel(model))
+            throw;
+        scenario.spec.modelName = model;
+    }
     scenario.spec.datasetScale = datasetScale_;
     config_.scenarios.push_back(std::move(scenario));
     return *this;
@@ -68,10 +111,20 @@ ServeSession &
 ServeSession::tenant(const std::string &name, double weight,
                      std::vector<double> scenario_weights)
 {
+    return tenant(name, weight, std::move(scenario_weights), 0, 0.0);
+}
+
+ServeSession &
+ServeSession::tenant(const std::string &name, double weight,
+                     std::vector<double> scenario_weights,
+                     Cycle slo_cycles, double share_quota)
+{
     serve::TenantMix mix;
     mix.name = name;
     mix.weight = weight;
     mix.scenarioWeights = std::move(scenario_weights);
+    mix.sloLatencyCycles = slo_cycles;
+    mix.shareQuota = share_quota;
     config_.tenants.push_back(std::move(mix));
     return *this;
 }

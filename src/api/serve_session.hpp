@@ -16,6 +16,11 @@
  *                     .instances(4)
  *                     .run();
  *
+ * Scheduling policies select by registry name (policy("edf")),
+ * heterogeneous clusters build from instance classes
+ * (instanceClass("hygcn", 6).instanceClass("pyg-cpu", 2)), and
+ * tenants can carry SLO targets and fair-share quotas.
+ *
  * Named presets registered in the Registry ("serve-smoke", ...) are
  * runnable via ServeSession::workload(name).
  */
@@ -44,9 +49,27 @@ class ServeSession
     static ServeSession workload(const std::string &name);
 
     // ---- cluster -----------------------------------------------
-    /** Registry key of the platform every instance replicates. */
+    /** Registry key of the platform every instance replicates
+     *  (homogeneous shorthand; ignored once instanceClass() adds a
+     *  heterogeneous ClusterSpec). */
     ServeSession &platform(const std::string &name);
     ServeSession &instances(std::uint32_t count);
+
+    /**
+     * Append an instance class to the heterogeneous ClusterSpec:
+     * @p count replicas of registry platform @p name, optionally
+     * with a per-class accelerator config. The first call switches
+     * the session off the homogeneous shorthand.
+     */
+    ServeSession &instanceClass(const std::string &name,
+                                std::uint32_t count);
+    ServeSession &instanceClass(const std::string &name,
+                                std::uint32_t count,
+                                const HyGCNConfig &config);
+
+    /** Registry key of the scheduling policy ("fifo", "edf",
+     *  "fair-share"). */
+    ServeSession &policy(const std::string &name);
 
     // ---- scenarios ---------------------------------------------
     /**
@@ -67,6 +90,13 @@ class ServeSession
     /** Add a tenant; empty weights select scenarios uniformly. */
     ServeSession &tenant(const std::string &name, double weight,
                          std::vector<double> scenario_weights = {});
+
+    /** Add a tenant with an SLO target (deadline = arrival +
+     *  @p slo_cycles; drives "edf" and violation accounting) and an
+     *  optional fair-share quota (0 falls back to the weight). */
+    ServeSession &tenant(const std::string &name, double weight,
+                         std::vector<double> scenario_weights,
+                         Cycle slo_cycles, double share_quota = 0.0);
     ServeSession &requests(std::uint64_t count);
     ServeSession &meanInterarrival(double cycles);
     ServeSession &seed(std::uint64_t seed);

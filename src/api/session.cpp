@@ -139,13 +139,29 @@ Session &
 Session::dataset(DatasetId id)
 {
     sweep_.dataset(id);
+    // An id selection replaces any earlier custom-name selection;
+    // a lingering name would silently override the id at run time.
+    sweep_.base.datasetName.clear();
     return *this;
 }
 
 Session &
 Session::dataset(const std::string &name)
 {
-    sweep_.dataset(Registry::global().datasetId(name));
+    const Registry &registry = Registry::global();
+    try {
+        sweep_.dataset(registry.datasetId(name));
+        sweep_.base.datasetName.clear();
+    } catch (const std::out_of_range &) {
+        // Not a built-in: registered custom datasets address by name
+        // through the base spec (the pre-existing API gap). The name
+        // overrides ids at run time, so collapse any multi-id axis —
+        // it would only expand into duplicate runs of this dataset.
+        if (!registry.hasDataset(name))
+            throw;
+        sweep_.base.datasetName = name;
+        sweep_.dataset(sweep_.base.dataset);
+    }
     return *this;
 }
 
@@ -153,6 +169,7 @@ Session &
 Session::datasets(std::vector<DatasetId> ids)
 {
     sweep_.datasets(std::move(ids));
+    sweep_.base.datasetName.clear();
     return *this;
 }
 
@@ -160,13 +177,23 @@ Session &
 Session::model(ModelId id)
 {
     sweep_.model(id);
+    sweep_.base.modelName.clear();
     return *this;
 }
 
 Session &
 Session::model(const std::string &name)
 {
-    sweep_.model(Registry::global().modelId(name));
+    const Registry &registry = Registry::global();
+    try {
+        sweep_.model(registry.modelId(name));
+        sweep_.base.modelName.clear();
+    } catch (const std::out_of_range &) {
+        if (!registry.hasModel(name))
+            throw;
+        sweep_.base.modelName = name;
+        sweep_.model(sweep_.base.model);
+    }
     return *this;
 }
 
@@ -174,6 +201,7 @@ Session &
 Session::models(std::vector<ModelId> ids)
 {
     sweep_.models(std::move(ids));
+    sweep_.base.modelName.clear();
     return *this;
 }
 

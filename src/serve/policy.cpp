@@ -1,0 +1,346 @@
+#include "serve/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace hygcn::serve {
+
+// ---- Batcher -------------------------------------------------------
+
+Batcher::Batcher(std::uint32_t max_batch, Cycle timeout_cycles,
+                 std::size_t num_scenarios)
+    : maxBatch_(max_batch), timeoutCycles_(timeout_cycles),
+      queues_(num_scenarios)
+{
+}
+
+void
+Batcher::admit(const ServeRequest &request)
+{
+    queues_.at(request.scenario).push_back(request);
+    ++pending_;
+}
+
+bool
+Batcher::queueReady(const std::deque<ServeRequest> &queue, Cycle now,
+                    bool drain) const
+{
+    if (queue.empty())
+        return false;
+    return drain || queue.size() >= maxBatch_ ||
+           satAddCycles(queue.front().arrival, timeoutCycles_) <= now;
+}
+
+bool
+Batcher::ready(Cycle now, bool drain) const
+{
+    for (const auto &queue : queues_)
+        if (queueReady(queue, now, drain))
+            return true;
+    return false;
+}
+
+std::vector<ServeRequest>
+Batcher::pop(Cycle now, bool drain)
+{
+    std::size_t best = queues_.size();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queueReady(queues_[i], now, drain))
+            continue;
+        if (best == queues_.size() ||
+            queues_[i].front().arrival < queues_[best].front().arrival)
+            best = i;
+    }
+    if (best == queues_.size())
+        throw std::logic_error("serve: pop() without a ready batch");
+
+    std::deque<ServeRequest> &queue = queues_[best];
+    const std::size_t take =
+        std::min<std::size_t>(queue.size(), maxBatch_);
+    std::vector<ServeRequest> batch(queue.begin(),
+                                    queue.begin() +
+                                        static_cast<std::ptrdiff_t>(take));
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<std::ptrdiff_t>(take));
+    pending_ -= take;
+    return batch;
+}
+
+Cycle
+Batcher::nextTimeout() const
+{
+    Cycle next = kNever;
+    for (const auto &queue : queues_)
+        if (!queue.empty())
+            next = std::min(next,
+                            satAddCycles(queue.front().arrival, timeoutCycles_));
+    return next;
+}
+
+// ---- SchedulerPolicy -----------------------------------------------
+
+void
+SchedulerPolicy::onDispatch(const std::vector<ServeRequest> &members,
+                            Cycle service_cycles)
+{
+    (void)members;
+    (void)service_cycles;
+}
+
+// ---- FifoPolicy ----------------------------------------------------
+
+FifoPolicy::FifoPolicy(const ServeConfig &config)
+    : batcher_(config.maxBatch, config.batchTimeoutCycles,
+               config.scenarios.size())
+{
+}
+
+void
+FifoPolicy::admit(const ServeRequest &request)
+{
+    batcher_.admit(request);
+}
+
+std::size_t
+FifoPolicy::pending() const
+{
+    return batcher_.pending();
+}
+
+bool
+FifoPolicy::ready(Cycle now, bool drain) const
+{
+    return batcher_.ready(now, drain);
+}
+
+std::vector<ServeRequest>
+FifoPolicy::pop(Cycle now, bool drain)
+{
+    return batcher_.pop(now, drain);
+}
+
+Cycle
+FifoPolicy::nextTimeout() const
+{
+    return batcher_.nextTimeout();
+}
+
+// ---- EdfPolicy -----------------------------------------------------
+
+EdfPolicy::EdfPolicy(const ServeConfig &config)
+    : maxBatch_(config.maxBatch), timeoutCycles_(config.batchTimeoutCycles),
+      queues_(config.scenarios.size()),
+      oldestArrival_(config.scenarios.size(), kNeverCycle)
+{
+}
+
+void
+EdfPolicy::admit(const ServeRequest &request)
+{
+    std::vector<ServeRequest> &queue = queues_.at(request.scenario);
+    // Sorted insert by (deadline, arrival, id), earliest first.
+    auto pos = std::upper_bound(
+        queue.begin(), queue.end(), request,
+        [](const ServeRequest &a, const ServeRequest &b) {
+            if (a.deadline != b.deadline)
+                return a.deadline < b.deadline;
+            if (a.arrival != b.arrival)
+                return a.arrival < b.arrival;
+            return a.id < b.id;
+        });
+    queue.insert(pos, request);
+    oldestArrival_[request.scenario] =
+        std::min(oldestArrival_[request.scenario], request.arrival);
+    ++pending_;
+}
+
+std::size_t
+EdfPolicy::pending() const
+{
+    return pending_;
+}
+
+bool
+EdfPolicy::queueReady(std::size_t scenario, Cycle now, bool drain) const
+{
+    const std::vector<ServeRequest> &queue = queues_[scenario];
+    if (queue.empty())
+        return false;
+    return drain || queue.size() >= maxBatch_ ||
+           satAddCycles(oldestArrival_[scenario], timeoutCycles_) <= now;
+}
+
+bool
+EdfPolicy::ready(Cycle now, bool drain) const
+{
+    for (std::size_t i = 0; i < queues_.size(); ++i)
+        if (queueReady(i, now, drain))
+            return true;
+    return false;
+}
+
+std::vector<ServeRequest>
+EdfPolicy::pop(Cycle now, bool drain)
+{
+    std::size_t best = queues_.size();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queueReady(i, now, drain))
+            continue;
+        if (best == queues_.size())
+            best = i;
+        else {
+            const ServeRequest &a = queues_[i].front();
+            const ServeRequest &b = queues_[best].front();
+            if (a.deadline < b.deadline ||
+                (a.deadline == b.deadline && a.arrival < b.arrival))
+                best = i;
+        }
+    }
+    if (best == queues_.size())
+        throw std::logic_error("serve: pop() without a ready batch");
+
+    std::vector<ServeRequest> &queue = queues_[best];
+    const std::size_t take =
+        std::min<std::size_t>(queue.size(), maxBatch_);
+    std::vector<ServeRequest> batch(queue.begin(),
+                                    queue.begin() +
+                                        static_cast<std::ptrdiff_t>(take));
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<std::ptrdiff_t>(take));
+    oldestArrival_[best] = kNeverCycle;
+    for (const ServeRequest &request : queue)
+        oldestArrival_[best] =
+            std::min(oldestArrival_[best], request.arrival);
+    pending_ -= take;
+    return batch;
+}
+
+Cycle
+EdfPolicy::nextTimeout() const
+{
+    Cycle next = kNeverCycle;
+    for (std::size_t i = 0; i < queues_.size(); ++i)
+        if (!queues_[i].empty())
+            next = std::min(next, satAddCycles(oldestArrival_[i],
+                                               timeoutCycles_));
+    return next;
+}
+
+// ---- FairSharePolicy -----------------------------------------------
+
+FairSharePolicy::FairSharePolicy(const ServeConfig &config)
+    : maxBatch_(config.maxBatch), timeoutCycles_(config.batchTimeoutCycles),
+      numScenarios_(config.scenarios.size())
+{
+    const std::vector<TenantMix> tenants = resolvedTenants(config);
+    queues_.resize(tenants.size() * numScenarios_);
+    charged_.assign(tenants.size(), 0);
+    quota_.reserve(tenants.size());
+    for (const TenantMix &tenant : tenants)
+        quota_.push_back(tenant.shareQuota > 0.0 ? tenant.shareQuota
+                                                 : tenant.weight);
+}
+
+void
+FairSharePolicy::admit(const ServeRequest &request)
+{
+    const std::size_t index =
+        static_cast<std::size_t>(request.tenant) * numScenarios_ +
+        request.scenario;
+    queues_.at(index).push_back(request);
+    ++pending_;
+}
+
+std::size_t
+FairSharePolicy::pending() const
+{
+    return pending_;
+}
+
+bool
+FairSharePolicy::queueReady(const std::deque<ServeRequest> &queue,
+                            Cycle now, bool drain) const
+{
+    if (queue.empty())
+        return false;
+    return drain || queue.size() >= maxBatch_ ||
+           satAddCycles(queue.front().arrival, timeoutCycles_) <= now;
+}
+
+bool
+FairSharePolicy::ready(Cycle now, bool drain) const
+{
+    for (const auto &queue : queues_)
+        if (queueReady(queue, now, drain))
+            return true;
+    return false;
+}
+
+std::vector<ServeRequest>
+FairSharePolicy::pop(Cycle now, bool drain)
+{
+    std::size_t best = queues_.size();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queueReady(queues_[i], now, drain))
+            continue;
+        if (best == queues_.size()) {
+            best = i;
+            continue;
+        }
+        // Most under-served tenant first; ties to the oldest head,
+        // then the lowest (tenant, scenario) index — i.e. first hit.
+        const double vt_i = virtualTime(queues_[i].front().tenant);
+        const double vt_best = virtualTime(queues_[best].front().tenant);
+        if (vt_i < vt_best ||
+            (vt_i == vt_best && queues_[i].front().arrival <
+                                    queues_[best].front().arrival))
+            best = i;
+    }
+    if (best == queues_.size())
+        throw std::logic_error("serve: pop() without a ready batch");
+
+    std::deque<ServeRequest> &queue = queues_[best];
+    const std::size_t take =
+        std::min<std::size_t>(queue.size(), maxBatch_);
+    std::vector<ServeRequest> batch(queue.begin(),
+                                    queue.begin() +
+                                        static_cast<std::ptrdiff_t>(take));
+    queue.erase(queue.begin(),
+                queue.begin() + static_cast<std::ptrdiff_t>(take));
+    pending_ -= take;
+    return batch;
+}
+
+Cycle
+FairSharePolicy::nextTimeout() const
+{
+    Cycle next = kNeverCycle;
+    for (const auto &queue : queues_)
+        if (!queue.empty())
+            next = std::min(next,
+                            satAddCycles(queue.front().arrival, timeoutCycles_));
+    return next;
+}
+
+void
+FairSharePolicy::onDispatch(const std::vector<ServeRequest> &members,
+                            Cycle service_cycles)
+{
+    if (members.empty())
+        return;
+    charged_.at(members.front().tenant) += service_cycles;
+}
+
+double
+FairSharePolicy::virtualTime(std::uint32_t tenant) const
+{
+    return static_cast<double>(charged_.at(tenant)) / quota_.at(tenant);
+}
+
+Cycle
+FairSharePolicy::chargedCycles(std::uint32_t tenant) const
+{
+    return charged_.at(tenant);
+}
+
+} // namespace hygcn::serve

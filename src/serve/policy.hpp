@@ -1,0 +1,231 @@
+/**
+ * @file
+ * Pluggable batch-scheduling policies. A SchedulerPolicy owns the
+ * pending-request queues of a serving cluster and decides which
+ * co-batchable group dispatches next; the event-driven Scheduler
+ * drives it through admit/ready/pop and reports priced service times
+ * back through onDispatch. Three built-ins, selected by name through
+ * the api::Registry ("fifo", "edf", "fair-share"):
+ *
+ *  - FifoPolicy: the original oldest-head batching, extracted
+ *    verbatim (byte-identical schedules and goldens).
+ *  - EdfPolicy: earliest-deadline-first over per-tenant SLO targets;
+ *    requests without an SLO are best-effort and sort last.
+ *  - FairSharePolicy: weighted tenant fair share — service cycles
+ *    are charged against per-tenant quotas and the most under-served
+ *    tenant dispatches next. Batches never mix tenants, so the
+ *    accounting is exact.
+ */
+
+#ifndef HYGCN_SERVE_POLICY_HPP
+#define HYGCN_SERVE_POLICY_HPP
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "serve/workload.hpp"
+
+namespace hygcn::serve {
+
+/**
+ * FIFO batching queues, one per scenario (only same-scenario
+ * requests share weights/graph and can ride one batch). A queue is
+ * dispatchable once it holds a full batch, its head has waited out
+ * the batch timeout, or the stream has drained.
+ */
+class Batcher
+{
+  public:
+    /** Sentinel for "no pending timeout". */
+    static constexpr Cycle kNever = kNeverCycle;
+
+    Batcher(std::uint32_t max_batch, Cycle timeout_cycles,
+            std::size_t num_scenarios);
+
+    /** Queue an arrived request (FIFO within its scenario). */
+    void admit(const ServeRequest &request);
+
+    /** Requests queued and not yet popped. */
+    std::size_t pending() const { return pending_; }
+
+    bool empty() const { return pending_ == 0; }
+
+    /**
+     * True if some queue can dispatch at @p now. @p drain means no
+     * further arrivals exist, so under-full batches stop waiting.
+     */
+    bool ready(Cycle now, bool drain) const;
+
+    /**
+     * Pop the dispatchable batch whose head request arrived first
+     * (ties to the lowest scenario index): up to maxBatch requests
+     * from the front of one queue. Precondition: ready(now, drain).
+     */
+    std::vector<ServeRequest> pop(Cycle now, bool drain);
+
+    /** Earliest cycle a queue head's batch timeout expires. */
+    Cycle nextTimeout() const;
+
+  private:
+    /** Dispatchable at @p now? (full / timed out / draining) */
+    bool queueReady(const std::deque<ServeRequest> &queue, Cycle now,
+                    bool drain) const;
+
+    std::uint32_t maxBatch_;
+    Cycle timeoutCycles_;
+    std::vector<std::deque<ServeRequest>> queues_;
+    std::size_t pending_ = 0;
+};
+
+/**
+ * Batch-formation strategy of the serving cluster. The Scheduler
+ * admits arrived requests, asks ready() whether some batch may
+ * dispatch at the current cycle, pops the policy's chosen batch, and
+ * reports the priced service time back through onDispatch (for
+ * policies that account consumed service, like fair share).
+ *
+ * Contracts every policy must keep: pop() only groups same-scenario
+ * requests (they share weights/graph); a queue with a full batch, a
+ * timed-out head, or drained arrivals must eventually report
+ * ready(); nextTimeout() returns the earliest future cycle at which
+ * ready() could flip true absent new arrivals or completions.
+ */
+class SchedulerPolicy
+{
+  public:
+    virtual ~SchedulerPolicy() = default;
+
+    /** Registry key this policy answers to. */
+    virtual std::string name() const = 0;
+
+    /** Queue an arrived request. */
+    virtual void admit(const ServeRequest &request) = 0;
+
+    /** Requests queued and not yet popped. */
+    virtual std::size_t pending() const = 0;
+
+    bool empty() const { return pending() == 0; }
+
+    /** True if some batch may dispatch at @p now. */
+    virtual bool ready(Cycle now, bool drain) const = 0;
+
+    /**
+     * Pop the next batch (up to the configured maxBatch same-scenario
+     * requests). Precondition: ready(now, drain).
+     */
+    virtual std::vector<ServeRequest> pop(Cycle now, bool drain) = 0;
+
+    /** Earliest cycle a queue head's batch timeout expires. */
+    virtual Cycle nextTimeout() const = 0;
+
+    /**
+     * Feedback after pricing: @p members just dispatched at
+     * @p service_cycles. Default: ignore.
+     */
+    virtual void onDispatch(const std::vector<ServeRequest> &members,
+                            Cycle service_cycles);
+};
+
+/** The original FIFO oldest-head batching, as a policy. */
+class FifoPolicy : public SchedulerPolicy
+{
+  public:
+    explicit FifoPolicy(const ServeConfig &config);
+
+    std::string name() const override { return "fifo"; }
+    void admit(const ServeRequest &request) override;
+    std::size_t pending() const override;
+    bool ready(Cycle now, bool drain) const override;
+    std::vector<ServeRequest> pop(Cycle now, bool drain) override;
+    Cycle nextTimeout() const override;
+
+  private:
+    Batcher batcher_;
+};
+
+/**
+ * Earliest-deadline-first: per-scenario queues ordered by request
+ * deadline (ties: arrival, then id), dispatching the ready queue
+ * whose head deadline is earliest (ties: head arrival, then scenario
+ * index). Release rules match FIFO — full batch, oldest member past
+ * the batch timeout, or drain — so EDF reorders *which* requests go
+ * first without starving under-full queues.
+ */
+class EdfPolicy : public SchedulerPolicy
+{
+  public:
+    explicit EdfPolicy(const ServeConfig &config);
+
+    std::string name() const override { return "edf"; }
+    void admit(const ServeRequest &request) override;
+    std::size_t pending() const override;
+    bool ready(Cycle now, bool drain) const override;
+    std::vector<ServeRequest> pop(Cycle now, bool drain) override;
+    Cycle nextTimeout() const override;
+
+  private:
+    bool queueReady(std::size_t scenario, Cycle now, bool drain) const;
+
+    std::uint32_t maxBatch_;
+    Cycle timeoutCycles_;
+    /** Sorted by (deadline, arrival, id), earliest first. */
+    std::vector<std::vector<ServeRequest>> queues_;
+    /**
+     * Earliest arrival still queued per scenario (kNeverCycle when
+     * empty), maintained incrementally — admit() takes a min,
+     * pop() rescans only the popped queue — so the per-event
+     * ready()/nextTimeout() sweeps stay O(#queues).
+     */
+    std::vector<Cycle> oldestArrival_;
+    std::size_t pending_ = 0;
+};
+
+/**
+ * Weighted tenant fair share: requests queue per (tenant, scenario),
+ * and among ready queues the tenant with the lowest virtual time —
+ * consumed service cycles divided by its quota — dispatches next
+ * (ties: head arrival, tenant index, scenario index). Quotas default
+ * to the tenant's traffic weight; TenantMix::shareQuota overrides
+ * them. Batches never mix tenants, so every service cycle is charged
+ * to exactly one quota.
+ */
+class FairSharePolicy : public SchedulerPolicy
+{
+  public:
+    explicit FairSharePolicy(const ServeConfig &config);
+
+    std::string name() const override { return "fair-share"; }
+    void admit(const ServeRequest &request) override;
+    std::size_t pending() const override;
+    bool ready(Cycle now, bool drain) const override;
+    std::vector<ServeRequest> pop(Cycle now, bool drain) override;
+    Cycle nextTimeout() const override;
+    void onDispatch(const std::vector<ServeRequest> &members,
+                    Cycle service_cycles) override;
+
+    /** Virtual time (charged cycles / quota) of @p tenant. */
+    double virtualTime(std::uint32_t tenant) const;
+
+    /** Service cycles charged to @p tenant so far. */
+    Cycle chargedCycles(std::uint32_t tenant) const;
+
+  private:
+    bool queueReady(const std::deque<ServeRequest> &queue, Cycle now,
+                    bool drain) const;
+
+    std::uint32_t maxBatch_;
+    Cycle timeoutCycles_;
+    std::size_t numScenarios_;
+    /** Indexed [tenant * numScenarios + scenario]. */
+    std::vector<std::deque<ServeRequest>> queues_;
+    std::vector<double> quota_;
+    std::vector<Cycle> charged_;
+    std::size_t pending_ = 0;
+};
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_POLICY_HPP

@@ -1,0 +1,98 @@
+#include "serve/priced_cache.hpp"
+
+#include "api/registry.hpp"
+#include "sim/json.hpp"
+
+namespace hygcn::serve {
+
+PricedScenarioCache::Priced
+PricedScenarioCache::price(const std::string &platform,
+                           const api::RunSpec &spec)
+{
+    // The spec JSON echoes every pricing-relevant field (platform,
+    // dataset/model/seeds/scale, the full accelerator config, varied
+    // parameters), so it doubles as an exact, human-debuggable key.
+    api::RunSpec keyed = spec;
+    keyed.platform = platform;
+    const std::string key = toJson(keyed);
+
+    // Failures that depend on mutable registry state — unknown
+    // platform keys or not-yet-registered custom dataset/model
+    // names — fail fast before a slot exists, so registering the
+    // name later makes the same price() call succeed. Only failures
+    // deterministic in the spec itself ever reach the slot.
+    if (!api::Registry::global().hasPlatform(platform))
+        api::Registry::global().makePlatform(platform); // throws
+    if (!keyed.datasetName.empty() &&
+        !api::Registry::global().hasDataset(keyed.datasetName))
+        api::Registry::global().makeDataset(keyed.datasetName); // throws
+    if (!keyed.modelName.empty() &&
+        !api::Registry::global().hasModel(keyed.modelName))
+        api::Registry::global().makeModel(keyed.modelName, 1); // throws
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end()) {
+            it = cache_.emplace(key, std::make_shared<Entry>()).first;
+            ++misses_;
+        } else {
+            ++hits_;
+        }
+        entry = it->second;
+    }
+    std::call_once(entry->once, [&] {
+        try {
+            const api::RunResult run =
+                api::Registry::global().makePlatform(platform)->run(
+                    keyed);
+            entry->value.unitCycles = run.report.cycles;
+            entry->value.clockHz = run.report.clockHz;
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+    });
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry->value;
+}
+
+std::size_t
+PricedScenarioCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return cache_.size();
+}
+
+std::uint64_t
+PricedScenarioCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+std::uint64_t
+PricedScenarioCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+void
+PricedScenarioCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    cache_.clear();
+    hits_ = 0;
+    misses_ = 0;
+}
+
+PricedScenarioCache &
+PricedScenarioCache::global()
+{
+    static PricedScenarioCache cache;
+    return cache;
+}
+
+} // namespace hygcn::serve

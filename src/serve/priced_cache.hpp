@@ -1,0 +1,95 @@
+/**
+ * @file
+ * Process-wide cache of priced serving scenarios. Pricing a scenario
+ * means one full deterministic Platform run (potentially seconds for
+ * the large datasets), and a design-space sweep over many serve
+ * configs re-prices the same (platform, config, scenario) triples
+ * over and over; this cache — modeled on api::DatasetCache — prices
+ * each distinct triple once and shares the result across every
+ * Scheduler in the process. Thread-safe: the map mutex only guards
+ * slot lookup, the run itself happens under a per-slot once_flag so
+ * concurrent sweeps needing different scenarios never serialize
+ * behind one slow pricing run.
+ */
+
+#ifndef HYGCN_SERVE_PRICED_CACHE_HPP
+#define HYGCN_SERVE_PRICED_CACHE_HPP
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "api/platform.hpp"
+#include "sim/types.hpp"
+
+namespace hygcn::serve {
+
+/** Mutex-guarded lazy (platform, config, scenario) -> cycles store. */
+class PricedScenarioCache
+{
+  public:
+    /** One priced scenario: unit service cycles at a clock. */
+    struct Priced
+    {
+        Cycle unitCycles = 0;
+        double clockHz = 1e9;
+    };
+
+    /**
+     * Price @p spec on registry platform @p platform, running it on
+     * first touch and serving every later request from the cache.
+     * The key covers the full spec — dataset, model, seeds, scale,
+     * accelerator config, varied parameters — so two serve configs
+     * differing in any pricing-relevant knob never collide. Safe to
+     * call concurrently.
+     */
+    Priced price(const std::string &platform, const api::RunSpec &spec);
+
+    /** Distinct priced scenarios currently held. */
+    std::size_t size() const;
+
+    /** Lookups served without a Platform run. */
+    std::uint64_t hits() const;
+
+    /** Lookups that had to price (one Platform run each). */
+    std::uint64_t misses() const;
+
+    /** Drop every priced scenario and reset the hit/miss counters. */
+    void clear();
+
+    /** The process-wide cache instance. */
+    static PricedScenarioCache &global();
+
+  private:
+    /**
+     * One cache slot; priced at most once, outside the map mutex.
+     * Held by shared_ptr so a clear() racing an in-flight price()
+     * cannot destroy a slot another thread is still filling. A
+     * pricing run that throws is cached as the error it threw —
+     * registry-state-dependent failures are rejected before the
+     * slot, so what remains is deterministic in the spec and
+     * retrying could only fail the same way — and rethrown to every
+     * caller (re-registering a platform under an existing name does
+     * not refresh cached outcomes; clear() does); the
+     * exception must not escape the call_once itself, which would
+     * wedge the once_flag under some pthread_once interceptors
+     * (tsan).
+     */
+    struct Entry
+    {
+        std::once_flag once;
+        Priced value;
+        std::exception_ptr error;
+    };
+
+    mutable std::mutex mutex_;
+    std::map<std::string, std::shared_ptr<Entry>> cache_;
+    std::uint64_t hits_ = 0;
+    std::uint64_t misses_ = 0;
+};
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_PRICED_CACHE_HPP

@@ -5,94 +5,11 @@
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "serve/priced_cache.hpp"
 
 namespace hygcn::serve {
 
-namespace {
-
-/** a + b, saturating at kNever so huge timeouts mean "never". */
-Cycle
-satAdd(Cycle a, Cycle b)
-{
-    const Cycle sum = a + b;
-    return sum < a ? Batcher::kNever : sum;
-}
-
-} // namespace
-
-// ---- Batcher -------------------------------------------------------
-
-Batcher::Batcher(std::uint32_t max_batch, Cycle timeout_cycles,
-                 std::size_t num_scenarios)
-    : maxBatch_(max_batch), timeoutCycles_(timeout_cycles),
-      queues_(num_scenarios)
-{
-}
-
-void
-Batcher::admit(const ServeRequest &request)
-{
-    queues_.at(request.scenario).push_back(request);
-    ++pending_;
-}
-
-bool
-Batcher::queueReady(const std::deque<ServeRequest> &queue, Cycle now,
-                    bool drain) const
-{
-    if (queue.empty())
-        return false;
-    return drain || queue.size() >= maxBatch_ ||
-           satAdd(queue.front().arrival, timeoutCycles_) <= now;
-}
-
-bool
-Batcher::ready(Cycle now, bool drain) const
-{
-    for (const auto &queue : queues_)
-        if (queueReady(queue, now, drain))
-            return true;
-    return false;
-}
-
-std::vector<ServeRequest>
-Batcher::pop(Cycle now, bool drain)
-{
-    std::size_t best = queues_.size();
-    for (std::size_t i = 0; i < queues_.size(); ++i) {
-        if (!queueReady(queues_[i], now, drain))
-            continue;
-        if (best == queues_.size() ||
-            queues_[i].front().arrival < queues_[best].front().arrival)
-            best = i;
-    }
-    if (best == queues_.size())
-        throw std::logic_error("serve: pop() without a ready batch");
-
-    std::deque<ServeRequest> &queue = queues_[best];
-    const std::size_t take =
-        std::min<std::size_t>(queue.size(), maxBatch_);
-    std::vector<ServeRequest> batch(queue.begin(),
-                                    queue.begin() +
-                                        static_cast<std::ptrdiff_t>(take));
-    queue.erase(queue.begin(),
-                queue.begin() + static_cast<std::ptrdiff_t>(take));
-    pending_ -= take;
-    return batch;
-}
-
-Cycle
-Batcher::nextTimeout() const
-{
-    Cycle next = kNever;
-    for (const auto &queue : queues_)
-        if (!queue.empty())
-            next = std::min(next,
-                            satAdd(queue.front().arrival, timeoutCycles_));
-    return next;
-}
-
-// ---- Scheduler -----------------------------------------------------
+// ---- batch pricing -------------------------------------------------
 
 Cycle
 batchServiceCycles(Cycle unit, std::size_t size, double marginal_fraction)
@@ -109,45 +26,148 @@ batchServiceCycles(Cycle unit, std::size_t size, double marginal_fraction)
     return std::max<Cycle>(total, 1);
 }
 
+// ---- Scheduler -----------------------------------------------------
+
 Scheduler::Scheduler(ServeConfig config) : config_(std::move(config))
 {
     config_.validate();
 }
 
+namespace {
+
+/**
+ * Convert natively-clocked unit cycles into the cluster time base
+ * (the first class's last-scenario clock, matching the clockHz the
+ * result reports) so one simulated cycle means the same wall-clock
+ * time on every instance class — the pyg baselines run at CPU/GPU
+ * clocks, not the accelerator's, and per-scenario configs may vary
+ * clockHz too. Equal clocks pass through untouched, keeping
+ * uniform-clock schedules (and the checked-in goldens) bit-exact.
+ */
+std::vector<std::vector<Cycle>>
+normalizeClocks(std::vector<std::vector<Cycle>> unit,
+                const std::vector<std::vector<double>> &clock)
+{
+    const double base_hz = clock[0].back();
+    for (std::size_t c = 0; c < unit.size(); ++c)
+        for (std::size_t s = 0; s < unit[c].size(); ++s) {
+            if (clock[c][s] == base_hz)
+                continue;
+            unit[c][s] = std::max<Cycle>(
+                1, static_cast<Cycle>(std::llround(
+                       static_cast<double>(unit[c][s]) *
+                       (base_hz / clock[c][s]))));
+        }
+    return unit;
+}
+
+} // namespace
+
+std::vector<ClusterSpec::InstanceClass>
+Scheduler::resolveClasses() const
+{
+    if (!config_.cluster.empty())
+        return config_.cluster.classes;
+    ClusterSpec::InstanceClass homogeneous;
+    homogeneous.platform = config_.platform;
+    homogeneous.count = config_.instances;
+    return {homogeneous};
+}
+
+api::RunSpec
+Scheduler::classSpec(const ClusterSpec::InstanceClass &cls,
+                     const ServeScenario &scenario) const
+{
+    api::RunSpec spec = scenario.spec;
+    spec.platform = cls.platform;
+    if (cls.hygcn)
+        spec.hygcn = *cls.hygcn;
+    return spec;
+}
+
 ServeResult
 Scheduler::run() const
 {
-    return run(*api::Registry::global().makePlatform(config_.platform));
+    const std::vector<ClusterSpec::InstanceClass> classes =
+        resolveClasses();
+
+    // Price each (class, scenario) pair once, through the
+    // process-wide cache: runs are deterministic in their spec, so
+    // the cached cycles are exactly the time any instance of the
+    // class spends replaying the scenario.
+    std::vector<std::vector<Cycle>> unit(classes.size());
+    std::vector<std::vector<double>> clock(classes.size());
+    for (std::size_t c = 0; c < classes.size(); ++c) {
+        unit[c].reserve(config_.scenarios.size());
+        clock[c].reserve(config_.scenarios.size());
+        for (const ServeScenario &scenario : config_.scenarios) {
+            const PricedScenarioCache::Priced priced =
+                PricedScenarioCache::global().price(
+                    classes[c].platform, classSpec(classes[c], scenario));
+            unit[c].push_back(priced.unitCycles);
+            clock[c].push_back(priced.clockHz);
+        }
+    }
+    return simulate(classes, normalizeClocks(unit, clock),
+                    clock[0].back());
 }
 
 ServeResult
 Scheduler::run(const api::Platform &platform) const
 {
-    ServeResult result;
-    result.config = config_;
+    if (!config_.cluster.empty())
+        throw std::invalid_argument(
+            "serve: explicit-platform run() supports homogeneous "
+            "clusters only (use the registry path for a ClusterSpec)");
 
-    // Price each scenario with one run of the replicated platform;
-    // runs are deterministic in their spec, so this is exactly the
-    // time any instance spends replaying the scenario.
-    result.scenarioUnitCycles.reserve(config_.scenarios.size());
+    std::vector<std::vector<Cycle>> unit(1);
+    std::vector<std::vector<double>> clock(1);
+    unit[0].reserve(config_.scenarios.size());
+    clock[0].reserve(config_.scenarios.size());
     for (const ServeScenario &scenario : config_.scenarios) {
         api::RunSpec spec = scenario.spec;
         spec.platform = config_.platform;
         const api::RunResult run = platform.run(spec);
-        result.scenarioUnitCycles.push_back(run.report.cycles);
-        result.clockHz = run.report.clockHz;
+        unit[0].push_back(run.report.cycles);
+        clock[0].push_back(run.report.clockHz);
     }
+    return simulate(resolveClasses(), normalizeClocks(unit, clock),
+                    clock[0].back());
+}
+
+ServeResult
+Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
+                    const std::vector<std::vector<Cycle>> &unit,
+                    double clock_hz) const
+{
+    ServeResult result;
+    result.config = config_;
+    result.unitCyclesByClass = unit;
+    result.scenarioUnitCycles = unit.front();
+    result.clockHz = clock_hz;
 
     const std::vector<ServeRequest> stream =
         RequestGenerator(config_).generate();
     result.requests.resize(stream.size());
 
-    Batcher batcher(config_.maxBatch, config_.batchTimeoutCycles,
-                    config_.scenarios.size());
-    std::vector<Cycle> free_at(config_.instances, 0);
-    result.instances.resize(config_.instances);
-    for (std::uint32_t i = 0; i < config_.instances; ++i)
-        result.instances[i].id = i;
+    const std::unique_ptr<SchedulerPolicy> policy =
+        api::Registry::global().makePolicy(config_.policy, config_);
+
+    const std::uint32_t total_instances = config_.totalInstances();
+    std::vector<Cycle> free_at(total_instances, 0);
+    std::vector<std::uint32_t> class_of(total_instances, 0);
+    result.instances.resize(total_instances);
+    {
+        std::uint32_t next = 0;
+        for (std::size_t c = 0; c < classes.size(); ++c)
+            for (std::uint32_t k = 0; k < classes[c].count; ++k) {
+                result.instances[next].id = next;
+                result.instances[next].classIndex =
+                    static_cast<std::uint32_t>(c);
+                class_of[next] = static_cast<std::uint32_t>(c);
+                ++next;
+            }
+    }
 
     std::size_t next_arrival = 0;
     std::size_t served = 0;
@@ -156,26 +176,47 @@ Scheduler::run(const api::Platform &platform) const
     while (served < stream.size()) {
         while (next_arrival < stream.size() &&
                stream[next_arrival].arrival <= now)
-            batcher.admit(stream[next_arrival++]);
+            policy->admit(stream[next_arrival++]);
         const bool drain = next_arrival == stream.size();
 
-        // Dispatch while a batch is formable and an instance is free;
-        // least-recently-freed instance first (ties to lowest id).
+        // Dispatch while a batch is formable and an instance is
+        // free. The policy picks the batch; routing then picks,
+        // among free instances, the class that prices the batch's
+        // scenario cheapest (ties to least-recently-freed, then
+        // lowest id — exactly the original order for homogeneous
+        // clusters).
         for (;;) {
-            std::size_t inst = free_at.size();
-            for (std::size_t i = 0; i < free_at.size(); ++i)
-                if (free_at[i] <= now &&
-                    (inst == free_at.size() || free_at[i] < free_at[inst]))
-                    inst = i;
-            if (inst == free_at.size() || !batcher.ready(now, drain))
+            if (!policy->ready(now, drain))
+                break;
+            bool any_free = false;
+            for (Cycle t : free_at)
+                any_free = any_free || t <= now;
+            if (!any_free)
                 break;
 
             const std::vector<ServeRequest> members =
-                batcher.pop(now, drain);
+                policy->pop(now, drain);
             const std::uint32_t scenario = members.front().scenario;
+
+            std::size_t inst = free_at.size();
+            for (std::size_t i = 0; i < free_at.size(); ++i) {
+                if (free_at[i] > now)
+                    continue;
+                if (inst == free_at.size()) {
+                    inst = i;
+                    continue;
+                }
+                const Cycle cost = unit[class_of[i]][scenario];
+                const Cycle best = unit[class_of[inst]][scenario];
+                if (cost < best ||
+                    (cost == best && free_at[i] < free_at[inst]))
+                    inst = i;
+            }
+
             const Cycle service = batchServiceCycles(
-                result.scenarioUnitCycles[scenario], members.size(),
+                unit[class_of[inst]][scenario], members.size(),
                 config_.batchMarginalFraction);
+            policy->onDispatch(members, service);
 
             BatchRecord batch;
             batch.id = result.batches.size();
@@ -189,6 +230,7 @@ Scheduler::run(const api::Platform &platform) const
                 record.tenant = member.tenant;
                 record.scenario = member.scenario;
                 record.arrival = member.arrival;
+                record.deadline = member.deadline;
                 record.dispatch = batch.dispatch;
                 record.completion = batch.completion;
                 record.instance = batch.instance;
@@ -210,21 +252,21 @@ Scheduler::run(const api::Platform &platform) const
 
         // Advance to the next event: an arrival, a queue-head batch
         // timeout, or an instance completion.
-        Cycle next = Batcher::kNever;
+        Cycle next = kNeverCycle;
         if (next_arrival < stream.size())
             next = std::min(next, stream[next_arrival].arrival);
-        if (!batcher.empty()) {
+        if (!policy->empty()) {
             // A timeout already in the past made its queue ready; the
             // blocker is then a busy instance, so only future expiries
             // are events.
-            const Cycle timeout = batcher.nextTimeout();
+            const Cycle timeout = policy->nextTimeout();
             if (!drain && timeout > now)
                 next = std::min(next, timeout);
             for (Cycle t : free_at)
                 if (t > now)
                     next = std::min(next, t);
         }
-        if (next == Batcher::kNever || next <= now)
+        if (next == kNeverCycle || next <= now)
             throw std::logic_error("serve: scheduler cannot advance");
         now = next;
     }
@@ -236,10 +278,15 @@ Scheduler::run(const api::Platform &platform) const
                       static_cast<double>(result.makespan)
                 : 0.0;
 
-    result.stats =
-        computeServeStats(result.requests, result.batches,
-                          result.instances, result.makespan,
-                          result.clockHz);
+    std::vector<std::string> class_labels;
+    class_labels.reserve(classes.size());
+    for (const ClusterSpec::InstanceClass &cls : classes)
+        class_labels.push_back(cls.label());
+
+    result.stats = computeServeStats(
+        result.requests, result.batches, result.instances,
+        result.makespan, result.clockHz, resolvedTenants(config_),
+        class_labels);
     return result;
 }
 

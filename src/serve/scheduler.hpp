@@ -1,21 +1,24 @@
 /**
  * @file
- * The serving cluster: a Batcher that queues arrived requests per
- * scenario and a Scheduler that dispatches formed batches across N
- * replicated accelerator instances in an event-driven loop. Service
- * times come from one deterministic Platform run per scenario (runs
- * are pure functions of their spec, so every instance replaying the
- * same scenario takes exactly those cycles), with co-batched
+ * The serving cluster: a pluggable SchedulerPolicy (serve/policy.hpp)
+ * queues arrived requests and a Scheduler dispatches formed batches
+ * across the cluster's accelerator instances in an event-driven
+ * loop. Clusters are homogeneous replicas of one platform or a
+ * heterogeneous ClusterSpec of instance classes; service times come
+ * from one deterministic Platform run per (class, scenario) — shared
+ * process-wide through the PricedScenarioCache — with co-batched
  * requests amortizing all but a configurable marginal fraction.
+ * Batches route to the cheapest free instance class for their
+ * scenario.
  */
 
 #ifndef HYGCN_SERVE_SCHEDULER_HPP
 #define HYGCN_SERVE_SCHEDULER_HPP
 
 #include <cstdint>
-#include <deque>
 #include <vector>
 
+#include "serve/policy.hpp"
 #include "serve/serve_stats.hpp"
 #include "serve/workload.hpp"
 
@@ -36,73 +39,36 @@ struct ServeResult
     /** Per-instance utilization accounting. */
     std::vector<InstanceRecord> instances;
 
-    /** Unit service cycles per scenario (one Platform run each). */
+    /**
+     * Unit service cycles per scenario on the first instance class
+     * (the whole cluster, when homogeneous).
+     */
     std::vector<Cycle> scenarioUnitCycles;
 
-    /** Platform clock, for cycles -> seconds conversions. */
+    /**
+     * Unit service cycles per [class][scenario], normalized into the
+     * cluster time base (the first class's clock) so heterogeneous
+     * platforms with different clocks price comparably.
+     */
+    std::vector<std::vector<Cycle>> unitCyclesByClass;
+
+    /** Cluster clock (the first class's), for cycles -> seconds. */
     double clockHz = 1e9;
 
     /** Last batch completion cycle. */
     Cycle makespan = 0;
 
-    /** Aggregate metrics (throughput, percentiles, utilization). */
+    /** Aggregate metrics (throughput, percentiles, utilization,
+     *  per-tenant and per-class breakdowns). */
     ServeStats stats;
 };
 
 /**
- * FIFO batching queues, one per scenario (only same-scenario
- * requests share weights/graph and can ride one batch). A queue is
- * dispatchable once it holds a full batch, its head has waited out
- * the batch timeout, or the stream has drained.
- */
-class Batcher
-{
-  public:
-    /** Sentinel for "no pending timeout". */
-    static constexpr Cycle kNever = ~Cycle{0};
-
-    Batcher(std::uint32_t max_batch, Cycle timeout_cycles,
-            std::size_t num_scenarios);
-
-    /** Queue an arrived request (FIFO within its scenario). */
-    void admit(const ServeRequest &request);
-
-    /** Requests queued and not yet popped. */
-    std::size_t pending() const { return pending_; }
-
-    bool empty() const { return pending_ == 0; }
-
-    /**
-     * True if some queue can dispatch at @p now. @p drain means no
-     * further arrivals exist, so under-full batches stop waiting.
-     */
-    bool ready(Cycle now, bool drain) const;
-
-    /**
-     * Pop the dispatchable batch whose head request arrived first
-     * (ties to the lowest scenario index): up to maxBatch requests
-     * from the front of one queue. Precondition: ready(now, drain).
-     */
-    std::vector<ServeRequest> pop(Cycle now, bool drain);
-
-    /** Earliest cycle a queue head's batch timeout expires. */
-    Cycle nextTimeout() const;
-
-  private:
-    /** Dispatchable at @p now? (full / timed out / draining) */
-    bool queueReady(const std::deque<ServeRequest> &queue, Cycle now,
-                    bool drain) const;
-
-    std::uint32_t maxBatch_;
-    Cycle timeoutCycles_;
-    std::vector<std::deque<ServeRequest>> queues_;
-    std::size_t pending_ = 0;
-};
-
-/**
  * Event-driven serving simulation: generates the request stream,
- * prices each scenario with one Platform run, then advances cluster
- * time over arrivals, batch timeouts, and instance completions.
+ * prices each (instance class, scenario) pair with one Platform run
+ * (through the PricedScenarioCache), then advances cluster time over
+ * arrivals, batch timeouts, and instance completions, dispatching
+ * policy-chosen batches to the cheapest free instance class.
  * Deterministic: equal configs yield equal results, including the
  * full per-request trace.
  */
@@ -111,17 +77,37 @@ class Scheduler
   public:
     explicit Scheduler(ServeConfig config);
 
-    /** Resolve config.platform from the Registry and simulate. */
+    /**
+     * Resolve the cluster's platforms from the Registry, price
+     * scenarios through the process-wide PricedScenarioCache, and
+     * simulate.
+     */
     ServeResult run() const;
 
     /**
      * Simulate on an explicit platform (ignoring config.platform's
-     * registry key), so the scheduler is drivable with a stub and
-     * the serve layer carries no registry dependency of its own.
+     * registry key), so the scheduler is drivable with a stub.
+     * Prices directly — stub results never enter the process-wide
+     * cache. Homogeneous clusters only: throws std::invalid_argument
+     * when the config carries an explicit ClusterSpec.
      */
     ServeResult run(const api::Platform &platform) const;
 
   private:
+    /** The cluster's instance classes (one synthetic class when
+     *  homogeneous). */
+    std::vector<ClusterSpec::InstanceClass> resolveClasses() const;
+
+    /** Scenario spec as priced on @p cls. */
+    api::RunSpec classSpec(const ClusterSpec::InstanceClass &cls,
+                           const ServeScenario &scenario) const;
+
+    /** Event loop over a priced cluster. */
+    ServeResult
+    simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
+             const std::vector<std::vector<Cycle>> &unit,
+             double clock_hz) const;
+
     ServeConfig config_;
 };
 

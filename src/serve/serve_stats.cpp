@@ -10,7 +10,9 @@ ServeStats
 computeServeStats(const std::vector<RequestRecord> &requests,
                   const std::vector<BatchRecord> &batches,
                   const std::vector<InstanceRecord> &instances,
-                  Cycle makespan, double clock_hz)
+                  Cycle makespan, double clock_hz,
+                  const std::vector<TenantMix> &tenants,
+                  const std::vector<std::string> &class_labels)
 {
     ServeStats stats;
     stats.requests = requests.size();
@@ -49,6 +51,69 @@ computeServeStats(const std::vector<RequestRecord> &requests,
     stats.instanceUtilization.reserve(instances.size());
     for (const InstanceRecord &inst : instances)
         stats.instanceUtilization.push_back(inst.utilization);
+
+    // ---- per-tenant breakdown --------------------------------------
+    // Service consumption charges each batch's cycles evenly across
+    // its members, so the shares are policy-agnostic and sum to 1.
+    std::vector<double> batch_member_cost(batches.size(), 0.0);
+    for (const BatchRecord &batch : batches)
+        if (!batch.requestIds.empty())
+            batch_member_cost[batch.id] =
+                static_cast<double>(batch.serviceCycles()) /
+                static_cast<double>(batch.requestIds.size());
+
+    stats.tenantStats.resize(tenants.size());
+    std::vector<std::vector<double>> tenant_latencies(tenants.size());
+    std::vector<double> tenant_cycles(tenants.size(), 0.0);
+    double total_cycles = 0.0;
+    for (std::size_t t = 0; t < tenants.size(); ++t)
+        stats.tenantStats[t].name = tenants[t].name;
+    for (const RequestRecord &r : requests) {
+        if (r.tenant >= tenants.size())
+            continue;
+        TenantStats &ts = stats.tenantStats[r.tenant];
+        ++ts.requests;
+        const double latency = static_cast<double>(r.latency());
+        ts.meanLatencyCycles += latency;
+        tenant_latencies[r.tenant].push_back(latency);
+        if (r.missedDeadline())
+            ++ts.sloViolations;
+        const double cost = r.batch < batch_member_cost.size()
+                                ? batch_member_cost[r.batch]
+                                : 0.0;
+        tenant_cycles[r.tenant] += cost;
+        total_cycles += cost;
+    }
+    for (std::size_t t = 0; t < tenants.size(); ++t) {
+        TenantStats &ts = stats.tenantStats[t];
+        if (ts.requests > 0)
+            ts.meanLatencyCycles /= static_cast<double>(ts.requests);
+        std::sort(tenant_latencies[t].begin(), tenant_latencies[t].end());
+        ts.p99LatencyCycles = percentileSorted(tenant_latencies[t], 99.0);
+        if (total_cycles > 0.0)
+            ts.servedShare = tenant_cycles[t] / total_cycles;
+    }
+
+    // ---- per-class breakdown ---------------------------------------
+    stats.classStats.resize(class_labels.size());
+    for (std::size_t c = 0; c < class_labels.size(); ++c)
+        stats.classStats[c].label = class_labels[c];
+    for (const InstanceRecord &inst : instances) {
+        if (inst.classIndex >= stats.classStats.size())
+            continue;
+        ClassStats &cs = stats.classStats[inst.classIndex];
+        ++cs.instances;
+        cs.batches += inst.batches;
+        cs.requests += inst.requests;
+        cs.busyCycles += inst.busyCycles;
+    }
+    for (ClassStats &cs : stats.classStats)
+        if (cs.instances > 0 && makespan > 0)
+            cs.utilization =
+                static_cast<double>(cs.busyCycles) /
+                (static_cast<double>(cs.instances) *
+                 static_cast<double>(makespan));
+
     return stats;
 }
 

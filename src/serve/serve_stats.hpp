@@ -2,8 +2,9 @@
  * @file
  * Per-request, per-batch, and per-instance outcome records of a
  * serving simulation, and the aggregate ServeStats derived from them
- * (throughput, utilization, latency percentiles). The percentile
- * math itself lives in sim/stats so any consumer of StatGroup-style
+ * (throughput, utilization, latency percentiles, per-tenant SLO
+ * accounting, per-instance-class breakdowns). The percentile math
+ * itself lives in sim/stats so any consumer of StatGroup-style
  * metrics can reuse it.
  */
 
@@ -11,8 +12,10 @@
 #define HYGCN_SERVE_SERVE_STATS_HPP
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "serve/workload.hpp"
 #include "sim/types.hpp"
 
 namespace hygcn::serve {
@@ -26,6 +29,9 @@ struct RequestRecord
 
     /** Arrival into the cluster queue. */
     Cycle arrival = 0;
+
+    /** Completion deadline (kNeverCycle when the tenant has no SLO). */
+    Cycle deadline = kNeverCycle;
 
     /** Batch dispatch onto an instance (>= arrival). */
     Cycle dispatch = 0;
@@ -41,6 +47,10 @@ struct RequestRecord
 
     Cycle queueWait() const { return dispatch - arrival; }
     Cycle latency() const { return completion - arrival; }
+
+    /** Completed past its deadline? (never true without an SLO) */
+    bool missedDeadline() const
+    { return deadline != kNeverCycle && completion > deadline; }
 };
 
 /** One dispatched batch: same-scenario requests served together. */
@@ -62,6 +72,10 @@ struct BatchRecord
 struct InstanceRecord
 {
     std::uint32_t id = 0;
+
+    /** Index into the resolved cluster classes (0 when homogeneous). */
+    std::uint32_t classIndex = 0;
+
     std::uint64_t batches = 0;
     std::uint64_t requests = 0;
 
@@ -69,6 +83,39 @@ struct InstanceRecord
     Cycle busyCycles = 0;
 
     /** busyCycles / makespan (0 for an empty run). */
+    double utilization = 0.0;
+};
+
+/** Per-tenant serving outcome (one entry per configured tenant). */
+struct TenantStats
+{
+    std::string name;
+    std::uint64_t requests = 0;
+    double meanLatencyCycles = 0.0;
+    double p99LatencyCycles = 0.0;
+
+    /** Requests completed past their deadline (0 without an SLO). */
+    std::uint64_t sloViolations = 0;
+
+    /**
+     * Tenant's fraction of consumed service cycles, each batch's
+     * cycles split evenly across its members.
+     */
+    double servedShare = 0.0;
+};
+
+/** Per-instance-class serving outcome (heterogeneous clusters). */
+struct ClassStats
+{
+    /** Class label (platform key, or the class's explicit name). */
+    std::string label;
+
+    std::uint32_t instances = 0;
+    std::uint64_t batches = 0;
+    std::uint64_t requests = 0;
+    Cycle busyCycles = 0;
+
+    /** busyCycles / (instances * makespan). */
     double utilization = 0.0;
 };
 
@@ -94,13 +141,26 @@ struct ServeStats
 
     /** Per-instance busy fraction, indexed by instance id. */
     std::vector<double> instanceUtilization;
+
+    /** Per-tenant breakdown, in ServeConfig::tenants order. */
+    std::vector<TenantStats> tenantStats;
+
+    /** Per-class breakdown, in resolved cluster-class order. */
+    std::vector<ClassStats> classStats;
 };
 
-/** Derive the aggregate stats of a finished run. */
+/**
+ * Derive the aggregate stats of a finished run. @p tenants is the
+ * resolved tenant list (the single default tenant when the config
+ * declares none) and @p class_labels the resolved instance-class
+ * labels; instance records carry their classIndex.
+ */
 ServeStats computeServeStats(const std::vector<RequestRecord> &requests,
                              const std::vector<BatchRecord> &batches,
                              const std::vector<InstanceRecord> &instances,
-                             Cycle makespan, double clock_hz);
+                             Cycle makespan, double clock_hz,
+                             const std::vector<TenantMix> &tenants,
+                             const std::vector<std::string> &class_labels);
 
 } // namespace hygcn::serve
 

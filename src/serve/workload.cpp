@@ -24,7 +24,26 @@ cumulate(const std::vector<double> &weights, const char *what)
     return cumulative;
 }
 
+/** arrival + slo, or "never" when the tenant carries no SLO. */
+Cycle
+deadlineOf(Cycle arrival, Cycle slo)
+{
+    return slo == 0 ? kNeverCycle : satAddCycles(arrival, slo);
+}
+
 } // namespace
+
+std::uint32_t
+ClusterSpec::totalInstances() const
+{
+    std::uint64_t total = 0;
+    for (const InstanceClass &cls : classes)
+        total += cls.count;
+    if (total > ~std::uint32_t{0})
+        throw std::invalid_argument("serve: cluster instance count "
+                                    "overflows uint32");
+    return static_cast<std::uint32_t>(total);
+}
 
 void
 ServeConfig::validate() const
@@ -50,19 +69,41 @@ ServeConfig::validate() const
                 throw std::invalid_argument(
                     "serve: tenant \"" + t.name +
                     "\" scenario weights must be positive");
+        if (t.shareQuota < 0.0)
+            throw std::invalid_argument("serve: tenant \"" + t.name +
+                                        "\" share quota must be >= 0");
+    }
+    if (policy.empty())
+        throw std::invalid_argument("serve: policy name is empty");
+    for (const ClusterSpec::InstanceClass &cls : cluster.classes) {
+        if (cls.platform.empty())
+            throw std::invalid_argument(
+                "serve: cluster class without a platform");
+        if (cls.count == 0)
+            throw std::invalid_argument(
+                "serve: cluster class \"" + cls.label() +
+                "\" has zero instances");
     }
     if (numRequests == 0)
         throw std::invalid_argument("serve: numRequests must be >= 1");
     if (!(meanInterarrivalCycles >= 0.0))
         throw std::invalid_argument(
             "serve: meanInterarrivalCycles must be >= 0");
-    if (instances == 0)
+    if (cluster.empty() && instances == 0)
         throw std::invalid_argument("serve: instances must be >= 1");
     if (maxBatch == 0)
         throw std::invalid_argument("serve: maxBatch must be >= 1");
     if (!(batchMarginalFraction >= 0.0))
         throw std::invalid_argument(
             "serve: batchMarginalFraction must be >= 0");
+}
+
+std::vector<TenantMix>
+resolvedTenants(const ServeConfig &config)
+{
+    if (!config.tenants.empty())
+        return config.tenants;
+    return {TenantMix{}};
 }
 
 RequestGenerator::RequestGenerator(const ServeConfig &config)
@@ -72,14 +113,14 @@ RequestGenerator::RequestGenerator(const ServeConfig &config)
 {
     config.validate();
 
-    std::vector<TenantMix> tenants = config.tenants;
-    if (tenants.empty())
-        tenants.push_back(TenantMix{});
+    const std::vector<TenantMix> tenants = resolvedTenants(config);
 
     std::vector<double> tenant_weights;
     tenant_weights.reserve(tenants.size());
-    for (const TenantMix &t : tenants)
+    for (const TenantMix &t : tenants) {
         tenant_weights.push_back(t.weight);
+        tenantSlo_.push_back(t.sloLatencyCycles);
+    }
     tenantCumulative_ = cumulate(tenant_weights, "tenant");
 
     const std::vector<double> uniform(config.scenarios.size(), 1.0);
@@ -113,6 +154,7 @@ RequestGenerator::next()
     request.arrival = now_;
     request.tenant = draw(tenantCumulative_);
     request.scenario = draw(scenarioCumulative_[request.tenant]);
+    request.deadline = deadlineOf(now_, tenantSlo_[request.tenant]);
     return request;
 }
 

@@ -2,7 +2,9 @@
  * @file
  * Serving workload description and the seeded open-loop request
  * generator. A ServeConfig names the scenarios a cluster can serve
- * (each a RunSpec against one platform), the tenants issuing them,
+ * (each a RunSpec), the tenants issuing them (with optional SLO
+ * targets and fair-share quotas), the cluster shape (homogeneous
+ * replicas or a heterogeneous ClusterSpec), the scheduling policy,
  * and the arrival process; RequestGenerator turns it into a
  * deterministic timestamped request stream on sim/rng, so identical
  * seeds always reproduce identical traffic.
@@ -12,6 +14,7 @@
 #define HYGCN_SERVE_WORKLOAD_HPP
 
 #include <cstdint>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -21,10 +24,23 @@
 
 namespace hygcn::serve {
 
+/** Sentinel cycle value: "never" / "no deadline". */
+inline constexpr Cycle kNeverCycle = ~Cycle{0};
+
+/** a + b, saturating at kNeverCycle so huge timeouts, SLO targets,
+ *  and deadlines mean "never" instead of wrapping. */
+inline Cycle
+satAddCycles(Cycle a, Cycle b)
+{
+    const Cycle sum = a + b;
+    return sum < a ? kNeverCycle : sum;
+}
+
 /**
  * One inference type the cluster serves: a named RunSpec. The spec's
- * platform field is ignored — every scenario of a ServeConfig runs on
- * the config's platform (the replicated instances are homogeneous).
+ * platform field is ignored — scenarios are priced on each instance
+ * class of the cluster (or on the config's platform when the cluster
+ * is homogeneous).
  */
 struct ServeScenario
 {
@@ -48,13 +64,79 @@ struct TenantMix
      * selects uniformly across all scenarios.
      */
     std::vector<double> scenarioWeights;
+
+    /**
+     * Latency SLO target in cycles; a request's deadline is
+     * arrival + sloLatencyCycles. 0 means no SLO: the "edf" policy
+     * treats such requests as best-effort (deadline = never), and no
+     * SLO-violation accounting applies.
+     */
+    Cycle sloLatencyCycles = 0;
+
+    /**
+     * Relative service quota under the "fair-share" policy; 0 falls
+     * back to the traffic weight. Quotas divide *service cycles*, so
+     * a tenant issuing expensive scenarios is charged accordingly.
+     */
+    double shareQuota = 0.0;
+};
+
+/**
+ * Heterogeneous cluster shape: instance classes, each replicating
+ * one platform (optionally with its own accelerator config) count
+ * times. Empty classes mean the homogeneous shorthand
+ * (ServeConfig::platform x ServeConfig::instances) applies.
+ */
+struct ClusterSpec
+{
+    struct InstanceClass
+    {
+        /** Registry key of the platform this class runs. */
+        std::string platform;
+
+        /** Replicated instances of this class (>= 1). */
+        std::uint32_t count = 1;
+
+        /**
+         * Per-class accelerator config override; unset classes price
+         * scenarios with the scenario spec's own config. Inert for
+         * the pyg baselines.
+         */
+        std::optional<HyGCNConfig> hygcn;
+
+        /** Stats/JSON label; empty defaults to the platform key. */
+        std::string name;
+
+        const std::string &label() const
+        { return name.empty() ? platform : name; }
+    };
+
+    std::vector<InstanceClass> classes;
+
+    bool empty() const { return classes.empty(); }
+
+    /** Total instance count across classes. */
+    std::uint32_t totalInstances() const;
 };
 
 /** Everything needed to reproduce one serving simulation. */
 struct ServeConfig
 {
-    /** Registry key of the platform every instance replicates. */
+    /**
+     * Registry key of the platform every instance replicates — the
+     * homogeneous shorthand, used when cluster is empty.
+     */
     std::string platform = "hygcn";
+
+    /**
+     * Heterogeneous cluster shape; when non-empty it overrides
+     * platform/instances above.
+     */
+    ClusterSpec cluster;
+
+    /** Registry key of the scheduling policy ("fifo", "edf",
+     *  "fair-share"). */
+    std::string policy = "fifo";
 
     /** Inference types on offer (>= 1). */
     std::vector<ServeScenario> scenarios;
@@ -71,7 +153,7 @@ struct ServeConfig
     /** Seed for arrivals and tenant/scenario draws. */
     std::uint64_t seed = 1;
 
-    /** Replicated accelerator instances (>= 1). */
+    /** Replicated accelerator instances (>= 1; homogeneous case). */
     std::uint32_t instances = 1;
 
     /** Largest batch one instance serves at once (>= 1). */
@@ -91,6 +173,10 @@ struct ServeConfig
      */
     double batchMarginalFraction = 0.35;
 
+    /** Instances across the cluster (classes, or the shorthand). */
+    std::uint32_t totalInstances() const
+    { return cluster.empty() ? instances : cluster.totalInstances(); }
+
     /** Throws std::invalid_argument on an unserveable config. */
     void validate() const;
 };
@@ -109,13 +195,27 @@ struct ServeRequest
 
     /** Arrival time in cluster cycles (non-decreasing in id). */
     Cycle arrival = 0;
+
+    /**
+     * Completion deadline (arrival + the tenant's SLO target), or
+     * kNeverCycle when the tenant has no SLO.
+     */
+    Cycle deadline = kNeverCycle;
 };
 
 /**
+ * The config's tenant list as the generator and policies see it: the
+ * declared tenants, or the single uniform default tenant when none
+ * are declared.
+ */
+std::vector<TenantMix> resolvedTenants(const ServeConfig &config);
+
+/**
  * Seeded open-loop arrival process: exponential interarrival gaps,
- * tenants drawn by weight, scenarios by the tenant's mix. The
- * generator never looks at service state — arrivals are independent
- * of how fast the cluster drains them.
+ * tenants drawn by weight, scenarios by the tenant's mix, deadlines
+ * from the tenant's SLO target. The generator never looks at service
+ * state — arrivals are independent of how fast the cluster drains
+ * them.
  */
 class RequestGenerator
 {
@@ -136,6 +236,7 @@ class RequestGenerator
     double meanGap_;
     std::vector<double> tenantCumulative_;
     std::vector<std::vector<double>> scenarioCumulative_;
+    std::vector<Cycle> tenantSlo_;
     Rng rng_;
     std::uint64_t nextId_ = 0;
     Cycle now_ = 0;

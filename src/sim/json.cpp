@@ -52,6 +52,41 @@ numberExact(double v)
     return buf;
 }
 
+/** The full accelerator config as a JSON object. */
+std::string
+hygcnConfigJson(const HyGCNConfig &c)
+{
+    std::string out = "{";
+    out += "\"simdCores\":" + std::to_string(c.simdCores) + ",";
+    out += "\"simdWidth\":" + std::to_string(c.simdWidth) + ",";
+    out += std::string("\"aggMode\":\"") +
+           (c.aggMode == AggMode::VertexDisperse ? "disperse"
+                                                 : "concentrated") +
+           "\",";
+    out += "\"systolicModules\":" + std::to_string(c.systolicModules) +
+           ",";
+    out += "\"moduleRows\":" + std::to_string(c.moduleRows) + ",";
+    out += "\"moduleCols\":" + std::to_string(c.moduleCols) + ",";
+    out += "\"inputBufBytes\":" + std::to_string(c.inputBufBytes) + ",";
+    out += "\"edgeBufBytes\":" + std::to_string(c.edgeBufBytes) + ",";
+    out += "\"weightBufBytes\":" + std::to_string(c.weightBufBytes) + ",";
+    out += "\"outputBufBytes\":" + std::to_string(c.outputBufBytes) + ",";
+    out += "\"aggBufBytes\":" + std::to_string(c.aggBufBytes) + ",";
+    out += std::string("\"sparsityElimination\":") +
+           (c.sparsityElimination ? "true" : "false") + ",";
+    out += std::string("\"interEnginePipeline\":") +
+           (c.interEnginePipeline ? "true" : "false") + ",";
+    out += std::string("\"memoryCoordination\":") +
+           (c.memoryCoordination ? "true" : "false") + ",";
+    out += std::string("\"pipelineMode\":\"") +
+           (c.pipelineMode == PipelineMode::LatencyAware ? "latency"
+                                                         : "energy") +
+           "\",";
+    out += "\"clockHz\":" + number(c.clockHz);
+    out += "}";
+    return out;
+}
+
 } // namespace
 
 std::string
@@ -104,6 +139,14 @@ toJson(const api::RunSpec &spec)
     out += "\"dataset\":\"" + jsonEscape(datasetAbbrev(spec.dataset)) +
            "\",";
     out += "\"model\":\"" + jsonEscape(modelAbbrev(spec.model)) + "\",";
+    // Registered custom names override the built-in ids; emitted only
+    // when set so id-addressed specs (and their goldens) are
+    // byte-stable.
+    if (!spec.datasetName.empty())
+        out += "\"dataset_name\":\"" + jsonEscape(spec.datasetName) +
+               "\",";
+    if (!spec.modelName.empty())
+        out += "\"model_name\":\"" + jsonEscape(spec.modelName) + "\",";
     out += "\"num_layers\":" + std::to_string(spec.numLayers) + ",";
     out += "\"seed\":" + std::to_string(spec.seed) + ",";
     out += "\"dataset_seed\":" + std::to_string(spec.datasetSeed) + ",";
@@ -117,35 +160,7 @@ toJson(const api::RunSpec &spec)
     // Full accelerator config, so runs differing only via a custom
     // base config (not a vary() axis) stay distinguishable. Applies
     // to the hygcn* platforms; inert for the pyg baselines.
-    const HyGCNConfig &c = spec.hygcn;
-    out += "\"hygcn_config\":{";
-    out += "\"simdCores\":" + std::to_string(c.simdCores) + ",";
-    out += "\"simdWidth\":" + std::to_string(c.simdWidth) + ",";
-    out += std::string("\"aggMode\":\"") +
-           (c.aggMode == AggMode::VertexDisperse ? "disperse"
-                                                 : "concentrated") +
-           "\",";
-    out += "\"systolicModules\":" + std::to_string(c.systolicModules) +
-           ",";
-    out += "\"moduleRows\":" + std::to_string(c.moduleRows) + ",";
-    out += "\"moduleCols\":" + std::to_string(c.moduleCols) + ",";
-    out += "\"inputBufBytes\":" + std::to_string(c.inputBufBytes) + ",";
-    out += "\"edgeBufBytes\":" + std::to_string(c.edgeBufBytes) + ",";
-    out += "\"weightBufBytes\":" + std::to_string(c.weightBufBytes) + ",";
-    out += "\"outputBufBytes\":" + std::to_string(c.outputBufBytes) + ",";
-    out += "\"aggBufBytes\":" + std::to_string(c.aggBufBytes) + ",";
-    out += std::string("\"sparsityElimination\":") +
-           (c.sparsityElimination ? "true" : "false") + ",";
-    out += std::string("\"interEnginePipeline\":") +
-           (c.interEnginePipeline ? "true" : "false") + ",";
-    out += std::string("\"memoryCoordination\":") +
-           (c.memoryCoordination ? "true" : "false") + ",";
-    out += std::string("\"pipelineMode\":\"") +
-           (c.pipelineMode == PipelineMode::LatencyAware ? "latency"
-                                                         : "energy") +
-           "\",";
-    out += "\"clockHz\":" + number(c.clockHz);
-    out += "},";
+    out += "\"hygcn_config\":" + hygcnConfigJson(spec.hygcn) + ",";
 
     // Dedupe by key (last application wins) so re-varied parameters
     // never produce duplicate JSON keys.
@@ -195,6 +210,28 @@ toJson(const serve::ServeConfig &config)
     std::string out = "{";
     out += "\"platform\":\"" + jsonEscape(config.platform) + "\",";
 
+    // New-in-PR-3 fields emit only off their defaults so FIFO-policy
+    // homogeneous configs — including the checked-in serve golden —
+    // stay byte-identical.
+    if (config.policy != "fifo")
+        out += "\"policy\":\"" + jsonEscape(config.policy) + "\",";
+    if (!config.cluster.empty()) {
+        out += "\"cluster\":[";
+        for (std::size_t i = 0; i < config.cluster.classes.size(); ++i) {
+            const serve::ClusterSpec::InstanceClass &cls =
+                config.cluster.classes[i];
+            if (i)
+                out += ",";
+            out += "{\"platform\":\"" + jsonEscape(cls.platform) +
+                   "\",\"label\":\"" + jsonEscape(cls.label()) +
+                   "\",\"count\":" + std::to_string(cls.count);
+            if (cls.hygcn)
+                out += ",\"hygcn_config\":" + hygcnConfigJson(*cls.hygcn);
+            out += "}";
+        }
+        out += "],";
+    }
+
     out += "\"scenarios\":[";
     for (std::size_t i = 0; i < config.scenarios.size(); ++i) {
         if (i)
@@ -217,7 +254,13 @@ toJson(const serve::ServeConfig &config)
                 out += ",";
             out += number(t.scenarioWeights[j]);
         }
-        out += "]}";
+        out += "]";
+        if (t.sloLatencyCycles != 0)
+            out += ",\"slo_cycles\":" +
+                   std::to_string(t.sloLatencyCycles);
+        if (t.shareQuota != 0.0)
+            out += ",\"share_quota\":" + number(t.shareQuota);
+        out += "}";
     }
     out += "],";
 
@@ -264,7 +307,44 @@ toJson(const serve::ServeResult &result, bool per_request)
             out += ",";
         out += number(stats.instanceUtilization[i]);
     }
-    out += "]},";
+    out += "]";
+    // Breakdowns emit only when the config declares the dimension
+    // (explicit tenants / an explicit cluster), keeping the default
+    // FIFO homogeneous golden byte-identical.
+    if (!result.config.tenants.empty()) {
+        out += ",\"tenants\":[";
+        for (std::size_t i = 0; i < stats.tenantStats.size(); ++i) {
+            const serve::TenantStats &t = stats.tenantStats[i];
+            if (i)
+                out += ",";
+            out += "{\"name\":\"" + jsonEscape(t.name) +
+                   "\",\"requests\":" + std::to_string(t.requests) +
+                   ",\"mean_latency_cycles\":" +
+                   number(t.meanLatencyCycles) +
+                   ",\"p99_latency_cycles\":" +
+                   number(t.p99LatencyCycles) +
+                   ",\"slo_violations\":" +
+                   std::to_string(t.sloViolations) +
+                   ",\"served_share\":" + number(t.servedShare) + "}";
+        }
+        out += "]";
+    }
+    if (!result.config.cluster.empty()) {
+        out += ",\"classes\":[";
+        for (std::size_t i = 0; i < stats.classStats.size(); ++i) {
+            const serve::ClassStats &c = stats.classStats[i];
+            if (i)
+                out += ",";
+            out += "{\"label\":\"" + jsonEscape(c.label) +
+                   "\",\"instances\":" + std::to_string(c.instances) +
+                   ",\"batches\":" + std::to_string(c.batches) +
+                   ",\"requests\":" + std::to_string(c.requests) +
+                   ",\"busy_cycles\":" + std::to_string(c.busyCycles) +
+                   ",\"utilization\":" + number(c.utilization) + "}";
+        }
+        out += "]";
+    }
+    out += "},";
 
     out += "\"scenario_unit_cycles\":[";
     for (std::size_t i = 0; i < result.scenarioUnitCycles.size(); ++i) {
@@ -273,6 +353,23 @@ toJson(const serve::ServeResult &result, bool per_request)
         out += std::to_string(result.scenarioUnitCycles[i]);
     }
     out += "],";
+    if (!result.config.cluster.empty()) {
+        out += "\"unit_cycles_by_class\":[";
+        for (std::size_t c = 0; c < result.unitCyclesByClass.size();
+             ++c) {
+            if (c)
+                out += ",";
+            out += "[";
+            for (std::size_t s = 0;
+                 s < result.unitCyclesByClass[c].size(); ++s) {
+                if (s)
+                    out += ",";
+                out += std::to_string(result.unitCyclesByClass[c][s]);
+            }
+            out += "]";
+        }
+        out += "],";
+    }
     out += "\"clock_hz\":" + number(result.clockHz) + ",";
     out += "\"makespan_cycles\":" + std::to_string(result.makespan);
 
@@ -286,6 +383,9 @@ toJson(const serve::ServeResult &result, bool per_request)
                    ",\"tenant\":" + std::to_string(r.tenant) +
                    ",\"scenario\":" + std::to_string(r.scenario) +
                    ",\"arrival\":" + std::to_string(r.arrival) +
+                   (r.deadline != serve::kNeverCycle
+                        ? ",\"deadline\":" + std::to_string(r.deadline)
+                        : std::string()) +
                    ",\"dispatch\":" + std::to_string(r.dispatch) +
                    ",\"completion\":" + std::to_string(r.completion) +
                    ",\"instance\":" + std::to_string(r.instance) +

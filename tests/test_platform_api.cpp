@@ -326,3 +326,126 @@ TEST(DatasetCache, KeysSeparateScaleAndSeed)
     cache.clear();
     EXPECT_EQ(cache.size(), 0u);
 }
+
+// ---- custom dataset/model addressing (pre-existing API gap) --------
+
+TEST(Registry, CustomDatasetAndModelAddressableFromRunSpec)
+{
+    // Regression for the ROADMAP gap: registered custom datasets and
+    // models used to be constructible by name only — a RunSpec (and
+    // so Session/sweeps/serving scenarios) could not reference them.
+    Registry &reg = Registry::global();
+    reg.registerDataset(
+        "tiny-cora", [](std::uint64_t seed, double scale) {
+            return ::hygcn::makeDataset(DatasetId::CR, seed,
+                                        scale <= 0.0 ? 0.1 : scale);
+        });
+    reg.registerModel("gcn-wide", [](int feature_len, int num_layers) {
+        return ::hygcn::makeModel(ModelId::GCN, feature_len, num_layers);
+    });
+    ASSERT_TRUE(reg.hasDataset("tiny-cora"));
+    ASSERT_TRUE(reg.hasModel("gcn-wide"));
+
+    const RunResult run = Session()
+                              .platform("pyg-cpu")
+                              .dataset("tiny-cora")
+                              .model("gcn-wide")
+                              .runOne();
+    EXPECT_GT(run.report.cycles, 0u);
+    EXPECT_EQ(run.spec.datasetName, "tiny-cora");
+    EXPECT_EQ(run.spec.modelName, "gcn-wide");
+    EXPECT_NE(run.spec.label().find("tiny-cora"), std::string::npos);
+    EXPECT_NE(run.spec.label().find("gcn-wide"), std::string::npos);
+
+    // The spec echo names the custom pair; id-addressed specs stay
+    // byte-stable (no dataset_name/model_name keys at all).
+    const std::string json = toJson(run);
+    EXPECT_NE(json.find("\"dataset_name\":\"tiny-cora\""),
+              std::string::npos);
+    EXPECT_NE(json.find("\"model_name\":\"gcn-wide\""),
+              std::string::npos);
+    const std::string builtin =
+        toJson(Session().platform("pyg-cpu").dataset(DatasetId::CR)
+                   .datasetScale(kScale).runOne());
+    EXPECT_EQ(builtin.find("\"dataset_name\""), std::string::npos);
+
+    // Unknown names still fail fast at the builder.
+    EXPECT_THROW(Session().dataset("karate-club"), std::out_of_range);
+    EXPECT_THROW(Session().model("gat"), std::out_of_range);
+}
+
+TEST(DatasetCache, CustomNamesCacheByRegistryName)
+{
+    Registry::global().registerDataset(
+        "tiny-citeseer", [](std::uint64_t seed, double scale) {
+            return ::hygcn::makeDataset(DatasetId::CS, seed,
+                                        scale <= 0.0 ? 0.1 : scale);
+        });
+    DatasetCache cache;
+    const Dataset &a = cache.get("tiny-citeseer", 0.0, 1);
+    const Dataset &b = cache.get("tiny-citeseer", 0.0, 1);
+    EXPECT_EQ(&a, &b);
+    EXPECT_EQ(cache.size(), 1u);
+    EXPECT_EQ(a.id, DatasetId::CS);
+    // Named and id-keyed entries never collide.
+    const Dataset &c = cache.get(DatasetId::CS, 0.1, 1);
+    EXPECT_NE(&a, &c);
+    EXPECT_EQ(cache.size(), 2u);
+    EXPECT_THROW(cache.get("karate-club"), std::out_of_range);
+}
+
+TEST(Registry, IdSelectionClearsEarlierCustomName)
+{
+    Registry::global().registerDataset(
+        "sticky-cora", [](std::uint64_t seed, double scale) {
+            return ::hygcn::makeDataset(DatasetId::CR, seed,
+                                        scale <= 0.0 ? 0.1 : scale);
+        });
+    Registry::global().registerModel(
+        "sticky-gcn", [](int feature_len, int num_layers) {
+            return ::hygcn::makeModel(ModelId::GCN, feature_len,
+                                      num_layers);
+        });
+    // A later id-based selection must replace the custom name, not
+    // be silently overridden by it.
+    const std::vector<RunSpec> specs = Session()
+                                           .dataset("sticky-cora")
+                                           .model("sticky-gcn")
+                                           .dataset(DatasetId::CS)
+                                           .model(ModelId::GIN)
+                                           .expand();
+    ASSERT_EQ(specs.size(), 1u);
+    EXPECT_TRUE(specs[0].datasetName.empty());
+    EXPECT_TRUE(specs[0].modelName.empty());
+    EXPECT_EQ(specs[0].dataset, DatasetId::CS);
+    EXPECT_EQ(specs[0].model, ModelId::GIN);
+    // And the multi-id overloads clear it too.
+    const std::vector<RunSpec> swept = Session()
+                                           .dataset("sticky-cora")
+                                           .datasets({DatasetId::CR,
+                                                      DatasetId::CS})
+                                           .expand();
+    ASSERT_EQ(swept.size(), 2u);
+    EXPECT_TRUE(swept[0].datasetName.empty());
+    // Symmetrically, a custom-name selection collapses an earlier
+    // multi-id axis instead of expanding duplicate name-overridden
+    // runs.
+    const std::vector<RunSpec> collapsed =
+        Session()
+            .datasets({DatasetId::CR, DatasetId::CS})
+            .dataset("sticky-cora")
+            .expand();
+    ASSERT_EQ(collapsed.size(), 1u);
+    EXPECT_EQ(collapsed[0].datasetName, "sticky-cora");
+}
+
+TEST(DatasetCache, NamedEntriesNeverAliasBuiltinSlots)
+{
+    // Regression: named entries once keyed with sentinel id 0, which
+    // collided with the id-0 built-in (IB) under an empty name.
+    DatasetCache cache;
+    const Dataset &ib = cache.get(DatasetId::IB, 0.2, 1);
+    EXPECT_EQ(ib.id, DatasetId::IB);
+    EXPECT_THROW(cache.get("", 0.2, 1), std::out_of_range);
+    EXPECT_THROW(cache.get("", 0.2, 1), std::out_of_range); // stays
+}
