@@ -81,6 +81,14 @@ gpuWouldOomFullSize(ModelId m, DatasetId ds)
     return working_set > static_cast<double>(gc.memCapacityBytes);
 }
 
+std::string
+jsonNumber(double v)
+{
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    return buf;
+}
+
 void
 banner(const std::string &experiment, const std::string &what)
 {

@@ -48,6 +48,13 @@ ModelConfig model(ModelId id, DatasetId ds);
  */
 bool gpuWouldOomFullSize(ModelId m, DatasetId ds);
 
+/**
+ * Format a metric for the BENCH_*.json emitters (%.9g). One shared
+ * definition so every emitted bench JSON agrees with the checked-in
+ * baselines' formatting.
+ */
+std::string jsonNumber(double v);
+
 /** Print the harness banner: figure/table id and description. */
 void banner(const std::string &experiment, const std::string &what);
 

@@ -9,10 +9,19 @@
  *      (paper: 1509x and 6.5x on average).
  * DiffPool runs on IB/CL only, as in the paper. GPU cells that would
  * exhaust V100 memory at full Table 4 scale are marked OoM.
+ *
+ * With --json PATH the harness also writes the machine-readable
+ * BENCH_fig10.json consumed by the CI bench-regression gate; the
+ * speedups derive from simulated cycle counts, which are
+ * deterministic in the config and therefore portable across CI
+ * hosts.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
 #include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 
@@ -33,11 +42,24 @@ seconds(const std::string &platform, ModelId m, DatasetId ds)
     return report(platform, m, ds).seconds();
 }
 
+struct SpeedupPoint
+{
+    std::string label;
+    double vsCpu = 0.0;
+    double vsGpu = 0.0; // 0 marks an OoM cell (omitted from JSON)
+};
+
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
     banner("Figure 10", "algorithm optimization & HyGCN speedup");
 
     // ---- (a) CPU algorithm optimization --------------------------
@@ -45,12 +67,15 @@ main()
     header("model/dataset", {"speedup"});
     double geo_a = 0.0;
     int n_a = 0;
+    std::vector<std::pair<std::string, double>> cpu_opt;
     for (ModelId m : allModels()) {
         for (DatasetId ds : datasetsFor(m)) {
             const double naive = seconds("pyg-cpu", m, ds);
             const double opt = seconds("pyg-cpu-part", m, ds);
             const double s = naive / opt;
             row(modelAbbrev(m) + "/" + datasetAbbrev(ds), {s});
+            cpu_opt.emplace_back(
+                modelAbbrev(m) + "/" + datasetAbbrev(ds), s);
             geo_a += s;
             ++n_a;
         }
@@ -82,6 +107,7 @@ main()
     header("model/dataset", {"vs CPU", "vs GPU"});
     double sum_cpu = 0.0, sum_gpu = 0.0;
     int n_cpu = 0, n_gpu = 0;
+    std::vector<SpeedupPoint> hygcn_points;
     for (ModelId m : allModels()) {
         for (DatasetId ds : datasetsFor(m)) {
             const double h = seconds("hygcn", m, ds);
@@ -89,23 +115,59 @@ main()
             const double s_cpu = cpu / h;
             sum_cpu += s_cpu;
             ++n_cpu;
+            SpeedupPoint point;
+            point.label = modelAbbrev(m) + "/" + datasetAbbrev(ds);
+            point.vsCpu = s_cpu;
             if (gpuWouldOomFullSize(m, ds)) {
-                std::printf("%-22s%10.1f%10s\n",
-                            (modelAbbrev(m) + "/" + datasetAbbrev(ds))
-                                .c_str(),
+                std::printf("%-22s%10.1f%10s\n", point.label.c_str(),
                             s_cpu, "OoM");
+                hygcn_points.push_back(std::move(point));
                 continue;
             }
             const double gpu = seconds("pyg-gpu", m, ds);
             const double s_gpu = gpu / h;
             sum_gpu += s_gpu;
             ++n_gpu;
-            row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
-                {s_cpu, s_gpu}, "%10.1f");
+            row(point.label, {s_cpu, s_gpu}, "%10.1f");
+            point.vsGpu = s_gpu;
+            hygcn_points.push_back(std::move(point));
         }
     }
     std::printf("average: %.0fx vs CPU (paper 1509x), %.1fx vs GPU "
                 "(paper 6.5x)\n",
                 sum_cpu / n_cpu, sum_gpu / n_gpu);
+
+    if (!json_path.empty()) {
+        std::string out = "{\"bench\":\"fig10_speedup\",\"cpu_opt\":[";
+        for (std::size_t i = 0; i < cpu_opt.size(); ++i) {
+            if (i)
+                out += ",";
+            out += "{\"case\":\"" + cpu_opt[i].first +
+                   "\",\"speedup\":" + jsonNumber(cpu_opt[i].second) + "}";
+        }
+        out += "],\"hygcn\":[";
+        for (std::size_t i = 0; i < hygcn_points.size(); ++i) {
+            const SpeedupPoint &point = hygcn_points[i];
+            if (i)
+                out += ",";
+            out += "{\"case\":\"" + point.label +
+                   "\",\"vs_cpu\":" + jsonNumber(point.vsCpu);
+            // OoM cells carry no GPU number, matching the table.
+            if (point.vsGpu > 0.0)
+                out += ",\"vs_gpu\":" + jsonNumber(point.vsGpu);
+            out += "}";
+        }
+        out += "]}";
+        std::ofstream file(json_path,
+                           std::ios::binary | std::ios::trunc);
+        if (!file.good()) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        file << out << "\n";
+        std::printf("wrote %s (%zu bytes)\n", json_path.c_str(),
+                    out.size() + 1);
+    }
     return 0;
 }

@@ -73,14 +73,6 @@ struct SeriesPoint
     serve::ServeStats stats;
 };
 
-std::string
-number(double v)
-{
-    char buf[48];
-    std::snprintf(buf, sizeof(buf), "%.9g", v);
-    return buf;
-}
-
 } // namespace
 
 int
@@ -164,13 +156,13 @@ main(int argc, char **argv)
                 out += ",";
             out += "{\"instances\":" +
                    std::to_string(series[i].instances) +
-                   ",\"throughput_rps\":" + number(s.throughputRps) +
+                   ",\"throughput_rps\":" + jsonNumber(s.throughputRps) +
                    ",\"p50_latency_cycles\":" +
-                   number(s.p50LatencyCycles) +
+                   jsonNumber(s.p50LatencyCycles) +
                    ",\"p95_latency_cycles\":" +
-                   number(s.p95LatencyCycles) +
+                   jsonNumber(s.p95LatencyCycles) +
                    ",\"p99_latency_cycles\":" +
-                   number(s.p99LatencyCycles) +
+                   jsonNumber(s.p99LatencyCycles) +
                    ",\"makespan_cycles\":" +
                    std::to_string(s.makespanCycles) + "}";
         }
@@ -180,11 +172,11 @@ main(int argc, char **argv)
             if (i)
                 out += ",";
             out += "{\"policy\":\"" + policies[i].first +
-                   "\",\"throughput_rps\":" + number(s.throughputRps) +
+                   "\",\"throughput_rps\":" + jsonNumber(s.throughputRps) +
                    ",\"p99_latency_cycles\":" +
-                   number(s.p99LatencyCycles) +
+                   jsonNumber(s.p99LatencyCycles) +
                    ",\"interactive_p99_cycles\":" +
-                   number(s.tenantStats.at(0).p99LatencyCycles) +
+                   jsonNumber(s.tenantStats.at(0).p99LatencyCycles) +
                    ",\"interactive_slo_violations\":" +
                    std::to_string(s.tenantStats.at(0).sloViolations) +
                    "}";

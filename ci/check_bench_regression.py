@@ -1,21 +1,43 @@
 #!/usr/bin/env python3
-"""Gate serving-bench tail latency against the checked-in baseline.
+"""Gate bench metrics against a checked-in baseline.
 
 Usage: check_bench_regression.py CURRENT.json BASELINE.json [MAX_REL]
 
-Compares p99_latency_cycles of every (instances) series point and
-every policy entry in BENCH_serve.json against the baseline. Latency
-is measured in simulated cycles, which are deterministic in the
-config, so any drift is a real behavior change, not host noise; the
-gate still allows MAX_REL (default 0.25, i.e. +25%) so intentional
-small model refinements don't have to land in lockstep with a
-baseline refresh.
+The bench schema is selected by the documents' "bench" field:
+
+- serve_latency: compares p99_latency_cycles of every (instances)
+  series point and every policy entry (lower is better).
+- fig10_speedup: compares the CPU algorithm-optimization speedup of
+  every cpu_opt case and HyGCN's vs_cpu speedup of every hygcn case
+  (higher is better).
+
+All metrics derive from simulated cycles, which are deterministic in
+the config, so any drift is a real behavior change, not host noise;
+the gate still allows MAX_REL (default 0.25, i.e. 25%) of relative
+regression so intentional small model refinements don't have to land
+in lockstep with a baseline refresh.
 
 Exit codes: 0 ok, 1 regression, 2 malformed input.
 """
 
 import json
 import sys
+
+# (section, key field, metric field, better) per bench id. "lower"
+# metrics regress when they grow; "higher" metrics when they shrink.
+SCHEMAS = {
+    "serve_latency": (
+        ("series", "instances", "p99_latency_cycles", "lower"),
+        ("policies", "policy", "p99_latency_cycles", "lower"),
+    ),
+    "fig10_speedup": (
+        ("cpu_opt", "case", "speedup", "higher"),
+        ("hygcn", "case", "vs_cpu", "higher"),
+        # vs_gpu is absent from OoM cells (deterministically, on both
+        # sides); entries carrying it in the baseline are gated.
+        ("hygcn", "case", "vs_gpu", "higher"),
+    ),
+}
 
 
 def load(path):
@@ -42,24 +64,50 @@ def main(argv):
     baseline = load(argv[2])
     max_rel = float(argv[3]) if len(argv) > 3 else 0.25
 
+    # Legacy BENCH_serve baselines predate the "bench" field.
+    bench = baseline.get("bench", current.get("bench", "serve_latency"))
+    if bench not in SCHEMAS:
+        print(f"error: unknown bench id {bench!r}", file=sys.stderr)
+        return 2
+
     failures = []
     checked = 0
-    for section, key in (("series", "instances"), ("policies", "policy")):
+    sections_checked = set()
+    for section, key, metric, better in SCHEMAS[bench]:
         cur = index(current, section, key)
         base = index(baseline, section, key)
-        missing = sorted(set(base) - set(cur), key=str)
-        if missing:
-            failures.append(f"{section}: missing entries {missing}")
+        # A section may carry several gated metrics; report its
+        # missing entries once.
+        if section not in sections_checked:
+            sections_checked.add(section)
+            missing = sorted(set(base) - set(cur), key=str)
+            if missing:
+                failures.append(f"{section}: missing entries {missing}")
         for name, base_entry in sorted(base.items(), key=lambda kv: str(kv[0])):
             if name not in cur:
                 continue
-            base_p99 = float(base_entry["p99_latency_cycles"])
-            cur_p99 = float(cur[name]["p99_latency_cycles"])
-            checked += 1
-            if base_p99 <= 0.0:
+            if metric not in base_entry:
+                continue  # e.g. vs_gpu on an OoM cell
+            if metric not in cur[name]:
+                failures.append(
+                    f"{section}[{name}]: baseline has {metric} but the "
+                    f"current run does not"
+                )
                 continue
-            rel = cur_p99 / base_p99 - 1.0
-            tag = f"{section}[{name}] p99 {base_p99:.0f} -> {cur_p99:.0f} cycles ({rel:+.1%})"
+            base_val = float(base_entry[metric])
+            cur_val = float(cur[name][metric])
+            checked += 1
+            if base_val <= 0.0:
+                continue
+            # Positive rel always means "got worse", whatever the
+            # metric's direction.
+            rel = cur_val / base_val - 1.0
+            if better == "higher":
+                rel = -rel
+            tag = (
+                f"{section}[{name}] {metric} {base_val:.6g} -> "
+                f"{cur_val:.6g} ({rel:+.1%} worse)"
+            )
             if rel > max_rel:
                 failures.append(f"REGRESSION {tag} exceeds +{max_rel:.0%}")
             else:
@@ -71,7 +119,7 @@ def main(argv):
                     )
 
     if checked == 0:
-        failures.append("no comparable p99 entries found")
+        failures.append("no comparable metric entries found")
     for failure in failures:
         print(failure, file=sys.stderr)
     return 1 if failures else 0

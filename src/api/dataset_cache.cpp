@@ -8,7 +8,8 @@ const Dataset &
 DatasetCache::get(DatasetId id, double scale, std::uint64_t seed)
 {
     const double norm_scale = scale <= 0.0 ? 0.0 : scale;
-    const Key key{std::string(), static_cast<int>(id), norm_scale, seed};
+    const Key key{std::string(), static_cast<int>(id), norm_scale, seed,
+                  1};
 
     // The map mutex only guards slot lookup/creation; generation
     // itself runs under the slot's once_flag so workers needing a
@@ -45,7 +46,7 @@ DatasetCache::get(const std::string &name, double scale,
     const double norm_scale = scale <= 0.0 ? 0.0 : scale;
     // Sentinel id -1: DatasetId values are >= 0, so a named entry can
     // never alias a built-in slot, whatever the name.
-    const Key key{name, -1, norm_scale, seed};
+    const Key key{name, -1, norm_scale, seed, 1};
 
     std::shared_ptr<Entry> entry;
     {
@@ -62,6 +63,44 @@ DatasetCache::get(const std::string &name, double scale,
     std::call_once(entry->once, [&] {
         entry->data = std::make_unique<Dataset>(
             Registry::global().makeDataset(name, seed, norm_scale));
+    });
+    return *entry->data;
+}
+
+const Dataset &
+DatasetCache::getBatched(const std::string &name, DatasetId id,
+                         double scale, std::uint64_t seed,
+                         std::uint32_t copies)
+{
+    // The base dataset resolves (and caches) first — this also
+    // surfaces unknown-name errors before any batched slot exists.
+    const Dataset &base = name.empty() ? get(id, scale, seed)
+                                       : get(name, scale, seed);
+    if (copies <= 1)
+        return base;
+    // Fail fast before a slot exists: replicateDataset rejects
+    // replicated vertex counts that overflow VertexId, and that
+    // throw must not escape the call_once below (wedged once_flag;
+    // see the name-resolution comment in get()).
+    replicableOrThrow(base, copies);
+
+    const double norm_scale = scale <= 0.0 ? 0.0 : scale;
+    const Key key{name, name.empty() ? static_cast<int>(id) : -1,
+                  norm_scale, seed, copies};
+
+    std::shared_ptr<Entry> entry;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = cache_.find(key);
+        if (it == cache_.end())
+            it = cache_.emplace(key, std::make_shared<Entry>()).first;
+        entry = it->second;
+    }
+    // Replication reads the already-built base, so a concurrent
+    // first touch of a different copy count never rebuilds it.
+    std::call_once(entry->once, [&] {
+        entry->data =
+            std::make_unique<Dataset>(replicateDataset(base, copies));
     });
     return *entry->data;
 }

@@ -43,6 +43,17 @@ class DatasetCache
     const Dataset &get(const std::string &name, double scale = 0.0,
                        std::uint64_t seed = 1);
 
+    /**
+     * The @p copies-fold disjoint union of a cached base dataset
+     * (replicateDataset) — the co-batch form RunSpec::batchCopies
+     * selects. Built from the cached base on first touch and cached
+     * under its own slot; copies <= 1 is the base itself. @p name
+     * empty selects built-in @p id, else the registered custom name.
+     */
+    const Dataset &getBatched(const std::string &name, DatasetId id,
+                              double scale, std::uint64_t seed,
+                              std::uint32_t copies);
+
     /** Drop every cached dataset (invalidates get() references). */
     void clear();
 
@@ -54,8 +65,10 @@ class DatasetCache
 
   private:
     /** Built-in ids key as ("", id, ...); custom names as
-     *  (name, -1, ...) — ids are >= 0, so the slots never alias. */
-    using Key = std::tuple<std::string, int, double, std::uint64_t>;
+     *  (name, -1, ...) — ids are >= 0, so the slots never alias. The
+     *  final element is the co-batch copy count (1 = the base). */
+    using Key =
+        std::tuple<std::string, int, double, std::uint64_t, std::uint32_t>;
 
     /**
      * One cache slot; built at most once, outside the map mutex.

@@ -1,0 +1,63 @@
+#include "api/parallel.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <exception>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hygcn::api {
+
+void
+parallelFor(std::size_t n, unsigned threads,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+
+    unsigned workers =
+        threads ? threads : std::thread::hardware_concurrency();
+    workers = std::max(
+        1u, std::min<unsigned>(workers, static_cast<unsigned>(n)));
+
+    std::atomic<std::size_t> next{0};
+    std::atomic<bool> failed{false};
+    std::mutex error_mutex;
+    std::exception_ptr error;
+
+    auto work = [&] {
+        for (;;) {
+            if (failed.load(std::memory_order_relaxed))
+                return;
+            const std::size_t i = next.fetch_add(1);
+            if (i >= n)
+                return;
+            try {
+                fn(i);
+            } catch (...) {
+                failed.store(true, std::memory_order_relaxed);
+                std::lock_guard<std::mutex> lock(error_mutex);
+                if (!error)
+                    error = std::current_exception();
+                return;
+            }
+        }
+    };
+
+    if (workers == 1) {
+        work();
+    } else {
+        std::vector<std::thread> pool;
+        pool.reserve(workers);
+        for (unsigned i = 0; i < workers; ++i)
+            pool.emplace_back(work);
+        for (std::thread &t : pool)
+            t.join();
+    }
+
+    if (error)
+        std::rethrow_exception(error);
+}
+
+} // namespace hygcn::api

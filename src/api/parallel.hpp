@@ -1,0 +1,33 @@
+/**
+ * @file
+ * The shared worker-pool primitive behind Session::runAll and
+ * ServeSweep::runAll: run n independent index-addressed tasks on a
+ * std::thread pool, stop claiming work after the first failure, and
+ * rethrow that first exception once the pool drains. Callers write
+ * into preallocated result slots by index, so completion order never
+ * affects output order.
+ */
+
+#ifndef HYGCN_API_PARALLEL_HPP
+#define HYGCN_API_PARALLEL_HPP
+
+#include <cstddef>
+#include <functional>
+
+namespace hygcn::api {
+
+/**
+ * Invoke fn(0) .. fn(n-1) on @p threads workers (0 = hardware
+ * concurrency, always clamped to [1, n]). Once any invocation
+ * throws, no further indices are claimed — the whole batch's results
+ * are discarded on rethrow, so finishing the remaining tasks would
+ * only burn compute — and the first exception is rethrown after
+ * every worker has stopped. @p fn must be safe to call concurrently
+ * for distinct indices.
+ */
+void parallelFor(std::size_t n, unsigned threads,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace hygcn::api
+
+#endif // HYGCN_API_PARALLEL_HPP

@@ -79,6 +79,15 @@ struct RunSpec
      */
     std::uint32_t sampleFactor = 1;
 
+    /**
+     * Serve the scenario as a co-batch of this many disjoint copies
+     * of the dataset in one pass (the multi-graph path): >1 replaces
+     * the dataset with its `batchCopies`-fold disjoint union, which
+     * is how the serving tier's "measured" cost model prices real
+     * batch-size-B runs. 1 (the default) leaves the spec untouched.
+     */
+    std::uint32_t batchCopies = 1;
+
     /** Accelerator configuration (used by the HyGCN platforms). */
     HyGCNConfig hygcn;
 

@@ -29,6 +29,12 @@ namespace {
 const Dataset &
 specDataset(const RunSpec &spec)
 {
+    if (spec.batchCopies == 0)
+        throw std::invalid_argument("api: batchCopies must be >= 1");
+    if (spec.batchCopies > 1)
+        return DatasetCache::global().getBatched(
+            spec.datasetName, spec.dataset, spec.datasetScale,
+            spec.datasetSeed, spec.batchCopies);
     if (!spec.datasetName.empty())
         return DatasetCache::global().get(
             spec.datasetName, spec.datasetScale, spec.datasetSeed);

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "serve/cost_model.hpp"
 #include "serve/policy.hpp"
 
 namespace hygcn::api {
@@ -60,6 +61,16 @@ Registry::Registry()
     });
     registerPolicy("fair-share", [](const serve::ServeConfig &config) {
         return std::make_unique<serve::FairSharePolicy>(config);
+    });
+
+    registerCostModel("marginal", [] {
+        return std::make_unique<serve::MarginalCostModel>();
+    });
+    registerCostModel("analytic", [] {
+        return std::make_unique<serve::AnalyticCostModel>();
+    });
+    registerCostModel("measured", [] {
+        return std::make_unique<serve::MeasuredCostModel>();
     });
 
     for (DatasetId id : allDatasets()) {
@@ -286,6 +297,42 @@ Registry::policyNames() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return keysOf(policies_);
+}
+
+void
+Registry::registerCostModel(const std::string &name,
+                            CostModelFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    costModels_[lower(name)] = std::move(factory);
+}
+
+std::unique_ptr<serve::BatchCostModel>
+Registry::makeCostModel(const std::string &name) const
+{
+    CostModelFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = costModels_.find(lower(name));
+        if (it == costModels_.end())
+            throwUnknown("cost model", name, keysOf(costModels_));
+        factory = it->second;
+    }
+    return factory();
+}
+
+bool
+Registry::hasCostModel(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return costModels_.count(lower(name)) > 0;
+}
+
+std::vector<std::string>
+Registry::costModelNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(costModels_);
 }
 
 } // namespace hygcn::api

@@ -36,6 +36,7 @@
 #include "serve/workload.hpp"
 
 namespace hygcn::serve {
+class BatchCostModel;
 class SchedulerPolicy;
 } // namespace hygcn::serve
 
@@ -58,6 +59,9 @@ class Registry
     using PolicyFactory =
         std::function<std::unique_ptr<serve::SchedulerPolicy>(
             const serve::ServeConfig &)>;
+    /** Builds a serving batch cost model. */
+    using CostModelFactory =
+        std::function<std::unique_ptr<serve::BatchCostModel>()>;
 
     /** Constructs a registry pre-loaded with the built-ins. */
     Registry();
@@ -111,6 +115,16 @@ class Registry
     bool hasPolicy(const std::string &name) const;
     std::vector<std::string> policyNames() const;
 
+    // ---- serving batch cost models -----------------------------
+    void registerCostModel(const std::string &name,
+                           CostModelFactory factory);
+    /** Build cost model @p name; throws std::out_of_range with the
+     *  known keys listed if the name is unknown. */
+    std::unique_ptr<serve::BatchCostModel>
+    makeCostModel(const std::string &name) const;
+    bool hasCostModel(const std::string &name) const;
+    std::vector<std::string> costModelNames() const;
+
   private:
     template <class Map>
     static std::vector<std::string> keysOf(const Map &map);
@@ -123,6 +137,7 @@ class Registry
     std::map<std::string, ModelId> modelIds_;
     std::map<std::string, WorkloadFactory> workloads_;
     std::map<std::string, PolicyFactory> policies_;
+    std::map<std::string, CostModelFactory> costModels_;
 };
 
 } // namespace hygcn::api

@@ -171,4 +171,18 @@ ServeSession::batchMarginalFraction(double fraction)
     return *this;
 }
 
+ServeSession &
+ServeSession::costModel(const std::string &name)
+{
+    config_.costModel = name;
+    return *this;
+}
+
+ServeSession &
+ServeSession::deadlineAwareBatching(bool on)
+{
+    config_.deadlineAwareBatching = on;
+    return *this;
+}
+
 } // namespace hygcn::api

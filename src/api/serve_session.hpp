@@ -106,6 +106,15 @@ class ServeSession
     ServeSession &batchTimeout(Cycle cycles);
     ServeSession &batchMarginalFraction(double fraction);
 
+    /** Registry key of the batch cost model pricing co-scheduled
+     *  requests ("marginal", "analytic", "measured"). */
+    ServeSession &costModel(const std::string &name);
+
+    /** Deadline-aware EDF batch sizing: stop filling a batch where
+     *  the cost curve says one more member would blow the tightest
+     *  queued deadline. */
+    ServeSession &deadlineAwareBatching(bool on = true);
+
     /** The accumulated config. */
     serve::ServeConfig &config() { return config_; }
     const serve::ServeConfig &config() const { return config_; }

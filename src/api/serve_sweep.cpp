@@ -1,0 +1,109 @@
+#include "api/serve_sweep.hpp"
+
+#include <utility>
+
+#include "api/parallel.hpp"
+#include "api/registry.hpp"
+
+namespace hygcn::api {
+
+ServeSweep::ServeSweep(serve::ServeConfig base) : base_(std::move(base))
+{
+}
+
+ServeSweep
+ServeSweep::workload(const std::string &name)
+{
+    return ServeSweep(Registry::global().makeWorkload(name));
+}
+
+ServeSweep &
+ServeSweep::policies(std::vector<std::string> names)
+{
+    policies_ = std::move(names);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::costModels(std::vector<std::string> names)
+{
+    costModels_ = std::move(names);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::clusters(std::vector<serve::ClusterSpec> specs)
+{
+    clusters_ = std::move(specs);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::arrivalRates(std::vector<double> mean_interarrival_cycles)
+{
+    arrivalRates_ = std::move(mean_interarrival_cycles);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::threads(unsigned count)
+{
+    threads_ = count;
+    return *this;
+}
+
+std::size_t
+ServeSweep::size() const
+{
+    return std::max<std::size_t>(policies_.size(), 1) *
+           std::max<std::size_t>(costModels_.size(), 1) *
+           std::max<std::size_t>(clusters_.size(), 1) *
+           std::max<std::size_t>(arrivalRates_.size(), 1);
+}
+
+std::vector<serve::ServeConfig>
+ServeSweep::expand() const
+{
+    // Unset axes fall back to the base config's value.
+    const std::vector<std::string> policies =
+        policies_.empty() ? std::vector<std::string>{base_.policy}
+                          : policies_;
+    const std::vector<std::string> cost_models =
+        costModels_.empty() ? std::vector<std::string>{base_.costModel}
+                            : costModels_;
+    const std::vector<serve::ClusterSpec> clusters =
+        clusters_.empty() ? std::vector<serve::ClusterSpec>{base_.cluster}
+                          : clusters_;
+    const std::vector<double> rates =
+        arrivalRates_.empty()
+            ? std::vector<double>{base_.meanInterarrivalCycles}
+            : arrivalRates_;
+
+    std::vector<serve::ServeConfig> configs;
+    configs.reserve(size());
+    for (const std::string &policy : policies)
+        for (const std::string &cost_model : cost_models)
+            for (const serve::ClusterSpec &cluster : clusters)
+                for (double rate : rates) {
+                    serve::ServeConfig config = base_;
+                    config.policy = policy;
+                    config.costModel = cost_model;
+                    config.cluster = cluster;
+                    config.meanInterarrivalCycles = rate;
+                    configs.push_back(std::move(config));
+                }
+    return configs;
+}
+
+std::vector<serve::ServeResult>
+ServeSweep::runAll() const
+{
+    const std::vector<serve::ServeConfig> configs = expand();
+    std::vector<serve::ServeResult> results(configs.size());
+    parallelFor(configs.size(), threads_, [&](std::size_t i) {
+        results[i] = serve::runServe(configs[i]);
+    });
+    return results;
+}
+
+} // namespace hygcn::api

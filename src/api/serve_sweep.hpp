@@ -1,0 +1,99 @@
+/**
+ * @file
+ * Cartesian sweeps over serving configurations, mirroring
+ * Session/SweepBuilder for the serve layer: a ServeSweep starts from
+ * a base ServeConfig (or a ServeSession under construction) and
+ * varies scheduling policy x batch cost model x arrival rate x
+ * cluster shape, executing the expansion on a std::thread worker
+ * pool:
+ *
+ *   auto results = ServeSweep(session.config())
+ *                      .policies({"fifo", "edf"})
+ *                      .costModels({"marginal", "analytic"})
+ *                      .arrivalRates({250000.0, 125000.0})
+ *                      .runAll();   // 8 runs, expansion order
+ *
+ * Every run prices its scenarios through the process-wide
+ * PricedScenarioCache, so the whole sweep performs one Platform run
+ * per distinct (class, scenario, cost model, maxBatch) — varying the
+ * policy or the arrival rate re-prices nothing, and cost models
+ * share their unit runs. Results come back in expansion order
+ * regardless of the worker count, and every run is deterministic in
+ * its config, so a parallel sweep serializes to exactly the same
+ * JSON as a sequential one.
+ */
+
+#ifndef HYGCN_API_SERVE_SWEEP_HPP
+#define HYGCN_API_SERVE_SWEEP_HPP
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "serve/scheduler.hpp"
+#include "serve/workload.hpp"
+
+namespace hygcn::api {
+
+/** Fluent cartesian sweep + parallel executor over the serve layer. */
+class ServeSweep
+{
+  public:
+    ServeSweep() = default;
+
+    /** Start from an explicit base config. */
+    explicit ServeSweep(serve::ServeConfig base);
+
+    /** Start from a registry workload preset ("serve-smoke", ...). */
+    static ServeSweep workload(const std::string &name);
+
+    /** The config every expanded run starts from. */
+    serve::ServeConfig &base() { return base_; }
+    const serve::ServeConfig &base() const { return base_; }
+
+    // ---- sweep axes (unset axes keep the base's value) ---------
+    /** Scheduling policies, outermost axis. */
+    ServeSweep &policies(std::vector<std::string> names);
+
+    /** Batch cost models. */
+    ServeSweep &costModels(std::vector<std::string> names);
+
+    /** Cluster shapes (ClusterSpec per value; an empty spec selects
+     *  the base's homogeneous shorthand). */
+    ServeSweep &clusters(std::vector<serve::ClusterSpec> specs);
+
+    /** Mean interarrival gaps in cycles, innermost axis. */
+    ServeSweep &arrivalRates(std::vector<double> mean_interarrival_cycles);
+
+    /** Worker threads for runAll (0 = hardware concurrency). */
+    ServeSweep &threads(unsigned count);
+
+    /** Number of runs expand() will produce. */
+    std::size_t size() const;
+
+    /**
+     * Expand the cartesian product into concrete configs, in
+     * deterministic declaration order: policies outermost, then cost
+     * models, clusters, and arrival rates innermost.
+     */
+    std::vector<serve::ServeConfig> expand() const;
+
+    /**
+     * Execute every expanded config on a worker pool. Results are in
+     * expansion order; the first worker exception (e.g. an unknown
+     * policy failing at run) is rethrown after the pool drains.
+     */
+    std::vector<serve::ServeResult> runAll() const;
+
+  private:
+    serve::ServeConfig base_;
+    std::vector<std::string> policies_;
+    std::vector<std::string> costModels_;
+    std::vector<serve::ClusterSpec> clusters_;
+    std::vector<double> arrivalRates_;
+    unsigned threads_ = 0;
+};
+
+} // namespace hygcn::api
+
+#endif // HYGCN_API_SERVE_SWEEP_HPP

@@ -1,11 +1,8 @@
 #include "api/session.hpp"
 
-#include <algorithm>
-#include <atomic>
-#include <mutex>
 #include <stdexcept>
-#include <thread>
 
+#include "api/parallel.hpp"
 #include "api/registry.hpp"
 
 namespace hygcn::api {
@@ -280,56 +277,11 @@ Session::runAll() const
 {
     const std::vector<RunSpec> specs = expand();
     std::vector<RunResult> results(specs.size());
-    if (specs.empty())
-        return results;
-
-    unsigned workers = threads_ ? threads_
-                                : std::thread::hardware_concurrency();
-    workers = std::max(1u, std::min<unsigned>(
-                               workers, static_cast<unsigned>(specs.size())));
-
-    std::atomic<std::size_t> next{0};
-    std::atomic<bool> failed{false};
-    std::mutex error_mutex;
-    std::exception_ptr error;
-
-    auto work = [&] {
-        for (;;) {
-            // Stop claiming work once any spec has failed: the whole
-            // sweep's results are discarded on rethrow, so finishing
-            // the remaining runs would only burn compute.
-            if (failed.load(std::memory_order_relaxed))
-                return;
-            const std::size_t i = next.fetch_add(1);
-            if (i >= specs.size())
-                return;
-            try {
-                results[i] = Registry::global()
-                                 .makePlatform(specs[i].platform)
-                                 ->run(specs[i]);
-            } catch (...) {
-                failed.store(true, std::memory_order_relaxed);
-                std::lock_guard<std::mutex> lock(error_mutex);
-                if (!error)
-                    error = std::current_exception();
-                return;
-            }
-        }
-    };
-
-    if (workers == 1) {
-        work();
-    } else {
-        std::vector<std::thread> pool;
-        pool.reserve(workers);
-        for (unsigned i = 0; i < workers; ++i)
-            pool.emplace_back(work);
-        for (std::thread &t : pool)
-            t.join();
-    }
-
-    if (error)
-        std::rethrow_exception(error);
+    parallelFor(specs.size(), threads_, [&](std::size_t i) {
+        results[i] = Registry::global()
+                         .makePlatform(specs[i].platform)
+                         ->run(specs[i]);
+    });
     return results;
 }
 

@@ -42,6 +42,8 @@ CombinationEngine::beginLayer(std::uint64_t param_bytes,
               false);
     const Cycle done = coordinator_.issueBatch(std::move(reqs), now);
     weightBuf_.write(param_bytes, ledger_, stats_);
+    weightLoadCycles_ += done - now;
+    stats_.add("comb.weight_load_cycles", done - now);
     return done;
 }
 

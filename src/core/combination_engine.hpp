@@ -84,6 +84,15 @@ class CombinationEngine
     Cycle processDenseWork(std::uint64_t group_size, std::uint64_t f_in,
                            std::uint64_t f_out, Cycle start);
 
+    /**
+     * Critical-path cycles spent loading resident layer weights so
+     * far (the beginLayer DRAM fetches). This phase depends on the
+     * model only — not on the graph — so co-scheduled inferences in
+     * a weights-resident pipeline pay it once per batch; everything
+     * else (aggregation, per-vertex combination) is per-graph work.
+     */
+    Cycle weightLoadCycles() const { return weightLoadCycles_; }
+
   private:
     /** Geometry used under the current pipeline mode. */
     SystolicGeometry activeGeometry() const;
@@ -103,6 +112,8 @@ class CombinationEngine
     std::uint64_t layerParamBytes_ = 0;
     /** True if the whole layer's parameters fit in the Weight Buffer. */
     bool weightsResident_ = false;
+    /** Accumulated beginLayer weight-load cycles (batch-invariant). */
+    Cycle weightLoadCycles_ = 0;
 };
 
 } // namespace hygcn

@@ -194,4 +194,56 @@ makeDatasetScaledDefault(DatasetId id, std::uint64_t seed)
     return makeDataset(id, seed, scale);
 }
 
+void
+replicableOrThrow(const Dataset &base, std::uint32_t copies)
+{
+    const VertexId n = base.graph.numVertices();
+    if (copies > 1 && n > 0 &&
+        copies > (~VertexId{0} - 1) / static_cast<VertexId>(n))
+        throw std::invalid_argument(
+            "dataset: replicated vertex count overflows VertexId");
+}
+
+Dataset
+replicateDataset(const Dataset &base, std::uint32_t copies)
+{
+    if (copies <= 1)
+        return base;
+    replicableOrThrow(base, copies);
+    const VertexId n = base.graph.numVertices();
+
+    // The base graph is already symmetrized; lift its directed CSC
+    // edges verbatim per copy so the union is byte-equivalent to
+    // `copies` independent instances laid out back to back.
+    const CscView view = base.graph.csc();
+    EdgeList edges;
+    edges.reserve(static_cast<std::size_t>(base.graph.numEdges()) *
+                  copies);
+    for (std::uint32_t c = 0; c < copies; ++c) {
+        const VertexId offset = c * n;
+        for (VertexId v = 0; v < n; ++v)
+            for (VertexId src : view.sources(v))
+                edges.emplace_back(offset + src, offset + v);
+    }
+
+    Dataset out;
+    out.id = base.id;
+    out.name = base.name;
+    out.abbrev = base.abbrev;
+    out.featureLen = base.featureLen;
+    out.scale = base.scale;
+    const std::vector<VertexId> bounds =
+        base.graphBoundaries.empty() ? std::vector<VertexId>{0, n}
+                                     : base.graphBoundaries;
+    out.graphBoundaries.reserve((bounds.size() - 1) * copies + 1);
+    out.graphBoundaries.push_back(0);
+    for (std::uint32_t c = 0; c < copies; ++c) {
+        const VertexId offset = c * n;
+        for (std::size_t b = 1; b < bounds.size(); ++b)
+            out.graphBoundaries.push_back(offset + bounds[b]);
+    }
+    out.graph = Graph::fromEdges(n * copies, std::move(edges), false);
+    return out;
+}
+
 } // namespace hygcn

@@ -81,6 +81,24 @@ Dataset makeDataset(DatasetId id, std::uint64_t seed = 1, double scale = 1.0);
  */
 Dataset makeDatasetScaledDefault(DatasetId id, std::uint64_t seed = 1);
 
+/**
+ * Disjoint union of @p copies identical copies of @p base — the
+ * multi-graph form of serving a co-batch of @p copies inferences of
+ * the same scenario in one accelerator pass. Component boundaries
+ * are preserved per copy (so Readout still reduces per original
+ * component), features and scale carry over, and copies <= 1 returns
+ * @p base unchanged.
+ */
+Dataset replicateDataset(const Dataset &base, std::uint32_t copies);
+
+/**
+ * Throws std::invalid_argument if replicateDataset(base, copies)
+ * would reject (replicated vertex count overflows VertexId).
+ * Callers that must not let the replication itself throw — e.g.
+ * cache slots filling under a once_flag — validate here first.
+ */
+void replicableOrThrow(const Dataset &base, std::uint32_t copies);
+
 } // namespace hygcn
 
 #endif // HYGCN_GRAPH_DATASET_HPP

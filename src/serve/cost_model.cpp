@@ -1,0 +1,99 @@
+#include "serve/cost_model.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "serve/scheduler.hpp"
+
+namespace hygcn::serve {
+
+std::string
+BatchCostModel::priceKey(const ServeConfig &) const
+{
+    return {};
+}
+
+Cycle
+curveAt(const std::vector<Cycle> &curve, std::size_t size)
+{
+    if (size == 0 || curve.empty())
+        return size == 0 ? 0 : 1;
+    const std::size_t idx = std::min(size, curve.size()) - 1;
+    return std::max<Cycle>(curve[idx], 1);
+}
+
+// ---- marginal ------------------------------------------------------
+
+std::string
+MarginalCostModel::priceKey(const ServeConfig &config) const
+{
+    // Exact round-trip: two fractions that differ in any bit price
+    // (and therefore cache) separately.
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.17g",
+                  config.batchMarginalFraction);
+    return std::string("fraction=") + buf;
+}
+
+std::vector<Cycle>
+MarginalCostModel::curve(const CostModelInputs &in) const
+{
+    std::vector<Cycle> out;
+    out.reserve(in.maxBatch);
+    for (std::uint32_t b = 1; b <= in.maxBatch; ++b)
+        out.push_back(
+            batchServiceCycles(in.unitCycles, b, in.marginalFraction));
+    return out;
+}
+
+// ---- analytic ------------------------------------------------------
+
+std::vector<Cycle>
+AnalyticCostModel::curve(const CostModelInputs &in) const
+{
+    // Weights-resident pipeline: the combination weight load W is
+    // paid once per co-batch, the per-graph remainder (aggregation +
+    // per-vertex combination) once per member. W is a segment of the
+    // unit run's critical path, so W <= unit holds by construction;
+    // clamp anyway so a phase-less platform (W == 0) degrades to B
+    // independent runs instead of misbehaving.
+    const Cycle unit = in.unitCycles;
+    const Cycle w = std::min(in.weightLoadCycles, unit);
+    const Cycle per_graph = unit - w;
+    std::vector<Cycle> out;
+    out.reserve(in.maxBatch);
+    for (std::uint32_t b = 1; b <= in.maxBatch; ++b)
+        out.push_back(std::max<Cycle>(
+            w + per_graph * static_cast<Cycle>(b), 1));
+    return out;
+}
+
+// ---- measured ------------------------------------------------------
+
+std::vector<Cycle>
+MeasuredCostModel::curve(const CostModelInputs &in) const
+{
+    if (!in.measuredCycles)
+        throw std::logic_error(
+            "serve: measured cost model needs a co-batch runner");
+    std::vector<Cycle> out;
+    out.reserve(in.maxBatch);
+    out.push_back(std::max<Cycle>(in.unitCycles, 1));
+    for (std::uint32_t b = 2; b <= in.maxBatch; ++b) {
+        // Two clamps keep the measured points a valid service-time
+        // curve: an instance can always serve B independent unit
+        // runs back to back (so a co-batch never prices above
+        // B * unit — partition-boundary noise in the replicated
+        // dataset must not leak past that), and a batch of B can
+        // always serve a batch of B-1 by idling one slot (so the
+        // curve never dips).
+        const Cycle cap =
+            in.unitCycles * static_cast<Cycle>(b);
+        const Cycle measured = std::min(in.measuredCycles(b), cap);
+        out.push_back(std::max(out.back(), measured));
+    }
+    return out;
+}
+
+} // namespace hygcn::serve

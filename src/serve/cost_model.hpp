@@ -1,0 +1,132 @@
+/**
+ * @file
+ * Pluggable batch cost models. A BatchCostModel turns one priced
+ * (instance class, scenario) pair into a full cost curve cycles(B)
+ * for B = 1..maxBatch, replacing the old single hand-tuned marginal
+ * fraction. Three built-ins, selected by name through the
+ * api::Registry ("marginal", "analytic", "measured"):
+ *
+ *  - MarginalCostModel: the legacy pricing, extracted verbatim —
+ *    cycles(B) = unit + round(unit * marginalFraction * (B-1)).
+ *    Byte-identical schedules and goldens for existing uniform-clock
+ *    configs (mixed-clock clusters can shift by a cycle of rounding,
+ *    since clock normalization now applies per curve point).
+ *  - AnalyticCostModel: weights-resident pipeline — the combination
+ *    weight DRAM load (the unit run's phase breakdown) is paid once
+ *    per co-batch, all per-graph aggregation/combination work once
+ *    per request: cycles(B) = W + B * (unit - W).
+ *  - MeasuredCostModel: actually runs the platform on a B-graph
+ *    co-batch (RunSpec::batchCopies through the multi-graph dataset
+ *    path), memoized per batch size in the PricedScenarioCache.
+ *
+ * Every curve a model produces is anchored at cycles(1) == unit,
+ * monotone non-decreasing in B, and subadditive versus B independent
+ * unit runs (cycles(B) <= B * unit) — properties the scheduler's
+ * batch sizing and routing rely on, enforced here by construction.
+ */
+
+#ifndef HYGCN_SERVE_COST_MODEL_HPP
+#define HYGCN_SERVE_COST_MODEL_HPP
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "serve/workload.hpp"
+#include "sim/types.hpp"
+
+namespace hygcn::serve {
+
+/** What a cost model prices one (class, scenario) pair from. */
+struct CostModelInputs
+{
+    /** B=1 service cycles, in the platform's native clock. */
+    Cycle unitCycles = 0;
+
+    /**
+     * Batch-invariant phase of the unit run: critical-path cycles
+     * the Combination Engine spent loading layer weights (0 for
+     * platforms without the phase, which then amortize nothing).
+     */
+    Cycle weightLoadCycles = 0;
+
+    /** Curve length: cycles(B) for B = 1..maxBatch. */
+    std::uint32_t maxBatch = 1;
+
+    /** ServeConfig::batchMarginalFraction (the "marginal" knob). */
+    double marginalFraction = 0.35;
+
+    /**
+     * Cycles of one real platform run over a B-graph co-batch,
+     * memoized process-wide (only the "measured" model calls this;
+     * models that never do stay one-Platform-run cheap).
+     */
+    std::function<Cycle(std::uint32_t copies)> measuredCycles;
+};
+
+/**
+ * Batch pricing strategy of the serving cluster. Stateless: curve()
+ * maps priced inputs to the cycles(B) cost curve one instance of a
+ * class spends serving a co-batch of B same-scenario requests.
+ */
+class BatchCostModel
+{
+  public:
+    virtual ~BatchCostModel() = default;
+
+    /** Registry key this model answers to. */
+    virtual std::string name() const = 0;
+
+    /**
+     * Cache-key discriminator beyond the scenario spec, model name,
+     * and maxBatch (e.g. the marginal fraction): curves differing in
+     * it never collide in the PricedScenarioCache. Default: none.
+     */
+    virtual std::string priceKey(const ServeConfig &config) const;
+
+    /**
+     * The cost curve: element b-1 holds the service cycles of a
+     * batch of b requests, for b = 1..maxBatch, in the same clock as
+     * the inputs. Must anchor at in.unitCycles, be monotone
+     * non-decreasing, and stay <= b * unit.
+     */
+    virtual std::vector<Cycle> curve(const CostModelInputs &in) const = 0;
+};
+
+/** Legacy marginal-fraction pricing ("marginal", the default). */
+class MarginalCostModel : public BatchCostModel
+{
+  public:
+    std::string name() const override { return "marginal"; }
+    std::string priceKey(const ServeConfig &config) const override;
+    std::vector<Cycle> curve(const CostModelInputs &in) const override;
+};
+
+/** Weights-resident analytic pipeline model ("analytic"). */
+class AnalyticCostModel : public BatchCostModel
+{
+  public:
+    std::string name() const override { return "analytic"; }
+    std::vector<Cycle> curve(const CostModelInputs &in) const override;
+};
+
+/** Real co-batched platform runs per batch size ("measured"). */
+class MeasuredCostModel : public BatchCostModel
+{
+  public:
+    std::string name() const override { return "measured"; }
+    std::vector<Cycle> curve(const CostModelInputs &in) const override;
+};
+
+/**
+ * Curve lookup: the service cycles of a batch of @p size requests.
+ * Sizes past the curve's end clamp to the last point (policies cap
+ * fills at maxBatch, so this only triggers for hand-built batches);
+ * every batch occupies its instance for at least one cycle.
+ */
+Cycle curveAt(const std::vector<Cycle> &curve, std::size_t size);
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_COST_MODEL_HPP

@@ -22,6 +22,7 @@
 
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -29,6 +30,17 @@
 #include "serve/workload.hpp"
 
 namespace hygcn::serve {
+
+/**
+ * Service-cost oracle the Scheduler installs before simulation:
+ * cycles(scenario, batchSize) in the cluster time base, as priced by
+ * the configured BatchCostModel on the cheapest instance class.
+ * Policies may consult it to size batches; routing may still land a
+ * batch on a pricier class when the cheapest is busy, so the oracle
+ * is the best-case estimate, not a guarantee.
+ */
+using CostOracle =
+    std::function<Cycle(std::uint32_t scenario, std::size_t batchSize)>;
 
 /**
  * FIFO batching queues, one per scenario (only same-scenario
@@ -127,6 +139,20 @@ class SchedulerPolicy
      */
     virtual void onDispatch(const std::vector<ServeRequest> &members,
                             Cycle service_cycles);
+
+    /**
+     * Install the cluster's cost oracle before simulation. Policies
+     * that size batches against the cost curve (EDF's deadline-aware
+     * fill) store it; the default ignores it.
+     */
+    virtual void bindCostOracle(CostOracle oracle);
+
+    /**
+     * Deadline misses the policy avoided by capping batch fills
+     * below maxBatch (deadline-aware sizing). 0 for policies without
+     * the feature.
+     */
+    virtual std::uint64_t deadlineCapsAvoided() const;
 };
 
 /** The original FIFO oldest-head batching, as a policy. */
@@ -153,6 +179,17 @@ class FifoPolicy : public SchedulerPolicy
  * index). Release rules match FIFO — full batch, oldest member past
  * the batch timeout, or drain — so EDF reorders *which* requests go
  * first without starving under-full queues.
+ *
+ * With ServeConfig::deadlineAwareBatching the fill consults the cost
+ * oracle: members stop being added at the size where cycles(B) would
+ * push the batch head — the tightest deadline aboard, since the
+ * queue is deadline-sorted — past its SLO. A head that cannot make
+ * its deadline even alone dispatches at the full fill (capping could
+ * no longer save it, so throughput wins). The oracle is the
+ * cheapest-class best case, and routing may land the batch on a
+ * slower class; a capped fill therefore counts into
+ * deadlineCapsAvoided() only once onDispatch reports a realized
+ * service time that actually keeps the head inside its deadline.
  */
 class EdfPolicy : public SchedulerPolicy
 {
@@ -165,12 +202,28 @@ class EdfPolicy : public SchedulerPolicy
     bool ready(Cycle now, bool drain) const override;
     std::vector<ServeRequest> pop(Cycle now, bool drain) override;
     Cycle nextTimeout() const override;
+    void onDispatch(const std::vector<ServeRequest> &members,
+                    Cycle service_cycles) override;
+    void bindCostOracle(CostOracle oracle) override;
+    std::uint64_t deadlineCapsAvoided() const override;
 
   private:
     bool queueReady(std::size_t scenario, Cycle now, bool drain) const;
 
+    /** Deadline-aware fill size for queue @p scenario at @p now. */
+    std::size_t fillSize(std::size_t scenario, Cycle now);
+
     std::uint32_t maxBatch_;
     Cycle timeoutCycles_;
+    bool deadlineAware_;
+    CostOracle costOracle_;
+    std::uint64_t capsAvoided_ = 0;
+    /** Deadline of the just-capped fill's head (kNeverCycle when the
+     *  last pop was not capped), and the cycle it popped at; the
+     *  next onDispatch reconciles them against the realized service
+     *  time. */
+    Cycle pendingCapDeadline_ = kNeverCycle;
+    Cycle pendingCapNow_ = 0;
     /** Sorted by (deadline, arrival, id), earliest first. */
     std::vector<std::vector<ServeRequest>> queues_;
     /**

@@ -1,9 +1,48 @@
 #include "serve/priced_cache.hpp"
 
 #include "api/registry.hpp"
+#include "serve/cost_model.hpp"
 #include "sim/json.hpp"
 
 namespace hygcn::serve {
+
+void
+PricedScenarioCache::rejectUnresolvable(const std::string &platform,
+                                        const api::RunSpec &spec)
+{
+    // batchCopies == 0 must fail before a slot exists: its JSON form
+    // would alias the default batchCopies == 1 key (emitted only off
+    // 1) and poison that slot with a cached error for the valid spec.
+    if (spec.batchCopies == 0)
+        throw std::invalid_argument("serve: batchCopies must be >= 1");
+    // Failures that depend on mutable registry state — unknown
+    // platform keys or not-yet-registered custom dataset/model
+    // names — fail fast before a slot exists, so registering the
+    // name later makes the same price() call succeed. Only failures
+    // deterministic in the spec itself ever reach a slot.
+    if (!api::Registry::global().hasPlatform(platform))
+        api::Registry::global().makePlatform(platform); // throws
+    if (!spec.datasetName.empty() &&
+        !api::Registry::global().hasDataset(spec.datasetName))
+        api::Registry::global().makeDataset(spec.datasetName); // throws
+    if (!spec.modelName.empty() &&
+        !api::Registry::global().hasModel(spec.modelName))
+        api::Registry::global().makeModel(spec.modelName, 1); // throws
+}
+
+std::shared_ptr<PricedScenarioCache::Entry>
+PricedScenarioCache::slot(const std::string &key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = cache_.find(key);
+    if (it == cache_.end()) {
+        it = cache_.emplace(key, std::make_shared<Entry>()).first;
+        ++misses_;
+    } else {
+        ++hits_;
+    }
+    return it->second;
+}
 
 PricedScenarioCache::Priced
 PricedScenarioCache::price(const std::string &platform,
@@ -11,44 +50,76 @@ PricedScenarioCache::price(const std::string &platform,
 {
     // The spec JSON echoes every pricing-relevant field (platform,
     // dataset/model/seeds/scale, the full accelerator config, varied
-    // parameters), so it doubles as an exact, human-debuggable key.
+    // parameters, co-batch copies), so it doubles as an exact,
+    // human-debuggable key.
     api::RunSpec keyed = spec;
     keyed.platform = platform;
     const std::string key = toJson(keyed);
 
-    // Failures that depend on mutable registry state — unknown
-    // platform keys or not-yet-registered custom dataset/model
-    // names — fail fast before a slot exists, so registering the
-    // name later makes the same price() call succeed. Only failures
-    // deterministic in the spec itself ever reach the slot.
-    if (!api::Registry::global().hasPlatform(platform))
-        api::Registry::global().makePlatform(platform); // throws
-    if (!keyed.datasetName.empty() &&
-        !api::Registry::global().hasDataset(keyed.datasetName))
-        api::Registry::global().makeDataset(keyed.datasetName); // throws
-    if (!keyed.modelName.empty() &&
-        !api::Registry::global().hasModel(keyed.modelName))
-        api::Registry::global().makeModel(keyed.modelName, 1); // throws
+    rejectUnresolvable(platform, keyed);
 
-    std::shared_ptr<Entry> entry;
-    {
-        std::lock_guard<std::mutex> lock(mutex_);
-        auto it = cache_.find(key);
-        if (it == cache_.end()) {
-            it = cache_.emplace(key, std::make_shared<Entry>()).first;
-            ++misses_;
-        } else {
-            ++hits_;
-        }
-        entry = it->second;
-    }
+    std::shared_ptr<Entry> entry = slot(key);
     std::call_once(entry->once, [&] {
         try {
             const api::RunResult run =
                 api::Registry::global().makePlatform(platform)->run(
                     keyed);
-            entry->value.unitCycles = run.report.cycles;
+            entry->value.cyclesByBatch = {run.report.cycles};
             entry->value.clockHz = run.report.clockHz;
+            entry->value.weightLoadCycles =
+                run.report.combWeightLoadCycles;
+        } catch (...) {
+            entry->error = std::current_exception();
+        }
+    });
+    if (entry->error)
+        std::rethrow_exception(entry->error);
+    return entry->value;
+}
+
+PricedScenarioCache::Priced
+PricedScenarioCache::priceCurve(const std::string &platform,
+                                const api::RunSpec &spec,
+                                const ServeConfig &config)
+{
+    api::RunSpec keyed = spec;
+    keyed.platform = platform;
+
+    // Resolve the model before the slot: an unknown cost-model name
+    // is registry state, and must stay retryable after registration.
+    const std::unique_ptr<BatchCostModel> model =
+        api::Registry::global().makeCostModel(config.costModel);
+    rejectUnresolvable(platform, keyed);
+
+    std::string key = toJson(keyed);
+    key += "\n#cost_model=" + model->name();
+    const std::string extra = model->priceKey(config);
+    if (!extra.empty())
+        key += "#" + extra;
+    key += "#max_batch=" + std::to_string(config.maxBatch);
+
+    std::shared_ptr<Entry> entry = slot(key);
+    std::call_once(entry->once, [&] {
+        try {
+            // The unit run is a shared unit entry, so every cost
+            // model (and every maxBatch) of the same scenario prices
+            // it exactly once. Nested price() calls are safe: the
+            // map mutex is never held while a slot fills, and unit
+            // slots never price curves.
+            const Priced unit = price(platform, keyed);
+            CostModelInputs in;
+            in.unitCycles = unit.unitCycles();
+            in.weightLoadCycles = unit.weightLoadCycles;
+            in.maxBatch = config.maxBatch;
+            in.marginalFraction = config.batchMarginalFraction;
+            in.measuredCycles = [&](std::uint32_t copies) {
+                api::RunSpec batched = keyed;
+                batched.batchCopies = copies;
+                return price(platform, batched).unitCycles();
+            };
+            entry->value.cyclesByBatch = model->curve(in);
+            entry->value.clockHz = unit.clockHz;
+            entry->value.weightLoadCycles = unit.weightLoadCycles;
         } catch (...) {
             entry->error = std::current_exception();
         }

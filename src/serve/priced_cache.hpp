@@ -6,10 +6,15 @@
  * configs re-prices the same (platform, config, scenario) triples
  * over and over; this cache — modeled on api::DatasetCache — prices
  * each distinct triple once and shares the result across every
- * Scheduler in the process. Thread-safe: the map mutex only guards
- * slot lookup, the run itself happens under a per-slot once_flag so
- * concurrent sweeps needing different scenarios never serialize
- * behind one slow pricing run.
+ * Scheduler in the process. Two entry kinds share one store: *unit*
+ * entries (one Platform run, keyed by the full spec JSON — including
+ * RunSpec::batchCopies, which is how the "measured" model's per-
+ * batch-size co-batch runs memoize) and *curve* entries (a
+ * BatchCostModel's cycles(B) curve, keyed by spec + model + maxBatch,
+ * assembled from shared unit entries). Thread-safe: the map mutex
+ * only guards slot lookup, the run itself happens under a per-slot
+ * once_flag so concurrent sweeps needing different scenarios never
+ * serialize behind one slow pricing run.
  */
 
 #ifndef HYGCN_SERVE_PRICED_CACHE_HPP
@@ -20,43 +25,77 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <vector>
 
 #include "api/platform.hpp"
+#include "serve/workload.hpp"
 #include "sim/types.hpp"
 
 namespace hygcn::serve {
+
+class BatchCostModel;
 
 /** Mutex-guarded lazy (platform, config, scenario) -> cycles store. */
 class PricedScenarioCache
 {
   public:
-    /** One priced scenario: unit service cycles at a clock. */
+    /**
+     * One priced scenario at a clock: the cost curve cycles(B) for
+     * B = 1..maxBatch (a unit entry is the length-1 curve), plus the
+     * unit run's batch-invariant weight-load phase the analytic
+     * model amortizes.
+     */
     struct Priced
     {
-        Cycle unitCycles = 0;
+        /** Element b-1 = service cycles of a batch of b. */
+        std::vector<Cycle> cyclesByBatch;
+
         double clockHz = 1e9;
+
+        /** Combination weight-load cycles of the B=1 run. */
+        Cycle weightLoadCycles = 0;
+
+        /** B=1 service cycles (the curve anchor). */
+        Cycle unitCycles() const
+        { return cyclesByBatch.empty() ? 0 : cyclesByBatch.front(); }
     };
 
     /**
-     * Price @p spec on registry platform @p platform, running it on
-     * first touch and serving every later request from the cache.
-     * The key covers the full spec — dataset, model, seeds, scale,
-     * accelerator config, varied parameters — so two serve configs
-     * differing in any pricing-relevant knob never collide. Safe to
-     * call concurrently.
+     * Price one unit run of @p spec on registry platform
+     * @p platform, running it on first touch and serving every later
+     * request from the cache. The key covers the full spec JSON —
+     * dataset, model, seeds, scale, accelerator config, varied
+     * parameters, co-batch copies — so two serve configs differing
+     * in any pricing-relevant knob never collide. Safe to call
+     * concurrently.
      */
     Priced price(const std::string &platform, const api::RunSpec &spec);
 
-    /** Distinct priced scenarios currently held. */
+    /**
+     * Price the full cost curve of @p spec on @p platform under
+     * @p config's cost model / maxBatch / marginal fraction. The
+     * curve entry caches under spec + model (and the model's
+     * priceKey) + maxBatch; the underlying unit runs are shared
+     * unit entries, so sweeping cost models or batch sizes re-runs
+     * no platform work that any earlier pricing already did. The
+     * "measured" model's per-batch-size co-batch runs memoize as
+     * unit entries with RunSpec::batchCopies = B.
+     */
+    Priced priceCurve(const std::string &platform,
+                      const api::RunSpec &spec,
+                      const ServeConfig &config);
+
+    /** Distinct priced entries (unit + curve) currently held. */
     std::size_t size() const;
 
-    /** Lookups served without a Platform run. */
+    /** Lookups served without pricing work. */
     std::uint64_t hits() const;
 
-    /** Lookups that had to price (one Platform run each). */
+    /** Lookups that had to price (unit entries run the Platform
+     *  once; curve entries assemble from unit entries). */
     std::uint64_t misses() const;
 
-    /** Drop every priced scenario and reset the hit/miss counters. */
+    /** Drop every priced entry and reset the hit/miss counters. */
     void clear();
 
     /** The process-wide cache instance. */
@@ -83,6 +122,13 @@ class PricedScenarioCache
         Priced value;
         std::exception_ptr error;
     };
+
+    /** Find-or-create the slot for @p key, counting hit/miss. */
+    std::shared_ptr<Entry> slot(const std::string &key);
+
+    /** Reject failures that depend on mutable registry state. */
+    static void rejectUnresolvable(const std::string &platform,
+                                   const api::RunSpec &spec);
 
     mutable std::mutex mutex_;
     std::map<std::string, std::shared_ptr<Entry>> cache_;

@@ -5,6 +5,7 @@
 #include <stdexcept>
 
 #include "api/registry.hpp"
+#include "serve/cost_model.hpp"
 #include "serve/priced_cache.hpp"
 
 namespace hygcn::serve {
@@ -36,29 +37,32 @@ Scheduler::Scheduler(ServeConfig config) : config_(std::move(config))
 namespace {
 
 /**
- * Convert natively-clocked unit cycles into the cluster time base
+ * Convert natively-clocked cost curves into the cluster time base
  * (the first class's last-scenario clock, matching the clockHz the
  * result reports) so one simulated cycle means the same wall-clock
  * time on every instance class — the pyg baselines run at CPU/GPU
  * clocks, not the accelerator's, and per-scenario configs may vary
- * clockHz too. Equal clocks pass through untouched, keeping
- * uniform-clock schedules (and the checked-in goldens) bit-exact.
+ * clockHz too. Normalization applies per curve point, since measured
+ * and analytic points are independent timings, not multiples of the
+ * unit. Equal clocks pass through untouched, keeping uniform-clock
+ * schedules (and the checked-in goldens) bit-exact.
  */
-std::vector<std::vector<Cycle>>
-normalizeClocks(std::vector<std::vector<Cycle>> unit,
+CostCurves
+normalizeClocks(CostCurves curves,
                 const std::vector<std::vector<double>> &clock)
 {
     const double base_hz = clock[0].back();
-    for (std::size_t c = 0; c < unit.size(); ++c)
-        for (std::size_t s = 0; s < unit[c].size(); ++s) {
+    for (std::size_t c = 0; c < curves.size(); ++c)
+        for (std::size_t s = 0; s < curves[c].size(); ++s) {
             if (clock[c][s] == base_hz)
                 continue;
-            unit[c][s] = std::max<Cycle>(
-                1, static_cast<Cycle>(std::llround(
-                       static_cast<double>(unit[c][s]) *
-                       (base_hz / clock[c][s]))));
+            for (Cycle &point : curves[c][s])
+                point = std::max<Cycle>(
+                    1, static_cast<Cycle>(std::llround(
+                           static_cast<double>(point) *
+                           (base_hz / clock[c][s]))));
         }
-    return unit;
+    return curves;
 }
 
 } // namespace
@@ -93,22 +97,23 @@ Scheduler::run() const
 
     // Price each (class, scenario) pair once, through the
     // process-wide cache: runs are deterministic in their spec, so
-    // the cached cycles are exactly the time any instance of the
-    // class spends replaying the scenario.
-    std::vector<std::vector<Cycle>> unit(classes.size());
+    // the cached curve is exactly the time any instance of the class
+    // spends replaying a co-batch of the scenario.
+    CostCurves curves(classes.size());
     std::vector<std::vector<double>> clock(classes.size());
     for (std::size_t c = 0; c < classes.size(); ++c) {
-        unit[c].reserve(config_.scenarios.size());
+        curves[c].reserve(config_.scenarios.size());
         clock[c].reserve(config_.scenarios.size());
         for (const ServeScenario &scenario : config_.scenarios) {
             const PricedScenarioCache::Priced priced =
-                PricedScenarioCache::global().price(
-                    classes[c].platform, classSpec(classes[c], scenario));
-            unit[c].push_back(priced.unitCycles);
+                PricedScenarioCache::global().priceCurve(
+                    classes[c].platform, classSpec(classes[c], scenario),
+                    config_);
+            curves[c].push_back(priced.cyclesByBatch);
             clock[c].push_back(priced.clockHz);
         }
     }
-    return simulate(classes, normalizeClocks(unit, clock),
+    return simulate(classes, normalizeClocks(std::move(curves), clock),
                     clock[0].back());
 }
 
@@ -120,30 +125,49 @@ Scheduler::run(const api::Platform &platform) const
             "serve: explicit-platform run() supports homogeneous "
             "clusters only (use the registry path for a ClusterSpec)");
 
-    std::vector<std::vector<Cycle>> unit(1);
+    const std::unique_ptr<BatchCostModel> model =
+        api::Registry::global().makeCostModel(config_.costModel);
+
+    CostCurves curves(1);
     std::vector<std::vector<double>> clock(1);
-    unit[0].reserve(config_.scenarios.size());
+    curves[0].reserve(config_.scenarios.size());
     clock[0].reserve(config_.scenarios.size());
     for (const ServeScenario &scenario : config_.scenarios) {
         api::RunSpec spec = scenario.spec;
         spec.platform = config_.platform;
         const api::RunResult run = platform.run(spec);
-        unit[0].push_back(run.report.cycles);
+        CostModelInputs in;
+        in.unitCycles = run.report.cycles;
+        in.weightLoadCycles = run.report.combWeightLoadCycles;
+        in.maxBatch = config_.maxBatch;
+        in.marginalFraction = config_.batchMarginalFraction;
+        in.measuredCycles = [&](std::uint32_t copies) {
+            api::RunSpec batched = spec;
+            batched.batchCopies = copies;
+            return platform.run(batched).report.cycles;
+        };
+        curves[0].push_back(model->curve(in));
         clock[0].push_back(run.report.clockHz);
     }
-    return simulate(resolveClasses(), normalizeClocks(unit, clock),
+    return simulate(resolveClasses(),
+                    normalizeClocks(std::move(curves), clock),
                     clock[0].back());
 }
 
 ServeResult
 Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
-                    const std::vector<std::vector<Cycle>> &unit,
-                    double clock_hz) const
+                    const CostCurves &curves, double clock_hz) const
 {
     ServeResult result;
     result.config = config_;
-    result.unitCyclesByClass = unit;
-    result.scenarioUnitCycles = unit.front();
+    result.cyclesByBatchByClass = curves;
+    result.unitCyclesByClass.resize(curves.size());
+    for (std::size_t c = 0; c < curves.size(); ++c) {
+        result.unitCyclesByClass[c].reserve(curves[c].size());
+        for (const std::vector<Cycle> &curve : curves[c])
+            result.unitCyclesByClass[c].push_back(curveAt(curve, 1));
+    }
+    result.scenarioUnitCycles = result.unitCyclesByClass.front();
     result.clockHz = clock_hz;
 
     const std::vector<ServeRequest> stream =
@@ -152,6 +176,16 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
 
     const std::unique_ptr<SchedulerPolicy> policy =
         api::Registry::global().makePolicy(config_.policy, config_);
+
+    // The policy's view of batch cost: the cheapest class's curve —
+    // the same best case routing aims for.
+    policy->bindCostOracle([&curves](std::uint32_t scenario,
+                                     std::size_t batch) {
+        Cycle best = kNeverCycle;
+        for (const auto &klass : curves)
+            best = std::min(best, curveAt(klass[scenario], batch));
+        return best;
+    });
 
     const std::uint32_t total_instances = config_.totalInstances();
     std::vector<Cycle> free_at(total_instances, 0);
@@ -181,10 +215,10 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
 
         // Dispatch while a batch is formable and an instance is
         // free. The policy picks the batch; routing then picks,
-        // among free instances, the class that prices the batch's
-        // scenario cheapest (ties to least-recently-freed, then
-        // lowest id — exactly the original order for homogeneous
-        // clusters).
+        // among free instances, the class that prices the batch —
+        // at its actual size — cheapest (ties to
+        // least-recently-freed, then lowest id — exactly the
+        // original order for homogeneous clusters).
         for (;;) {
             if (!policy->ready(now, drain))
                 break;
@@ -206,16 +240,17 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                     inst = i;
                     continue;
                 }
-                const Cycle cost = unit[class_of[i]][scenario];
-                const Cycle best = unit[class_of[inst]][scenario];
+                const Cycle cost = curveAt(
+                    curves[class_of[i]][scenario], members.size());
+                const Cycle best = curveAt(
+                    curves[class_of[inst]][scenario], members.size());
                 if (cost < best ||
                     (cost == best && free_at[i] < free_at[inst]))
                     inst = i;
             }
 
-            const Cycle service = batchServiceCycles(
-                unit[class_of[inst]][scenario], members.size(),
-                config_.batchMarginalFraction);
+            const Cycle service = curveAt(
+                curves[class_of[inst]][scenario], members.size());
             policy->onDispatch(members, service);
 
             BatchRecord batch;
@@ -287,6 +322,7 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
         result.requests, result.batches, result.instances,
         result.makespan, result.clockHz, resolvedTenants(config_),
         class_labels);
+    result.stats.deadlineCapsAvoided = policy->deadlineCapsAvoided();
     return result;
 }
 

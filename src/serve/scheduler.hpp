@@ -5,11 +5,11 @@
  * across the cluster's accelerator instances in an event-driven
  * loop. Clusters are homogeneous replicas of one platform or a
  * heterogeneous ClusterSpec of instance classes; service times come
- * from one deterministic Platform run per (class, scenario) — shared
- * process-wide through the PricedScenarioCache — with co-batched
- * requests amortizing all but a configurable marginal fraction.
- * Batches route to the cheapest free instance class for their
- * scenario.
+ * from per-(class, scenario) cost curves cycles(B) priced by the
+ * configured BatchCostModel (serve/cost_model.hpp) over one
+ * deterministic Platform run each — shared process-wide through the
+ * PricedScenarioCache. Batches route to the instance class pricing
+ * their scenario cheapest at the batch's actual size.
  */
 
 #ifndef HYGCN_SERVE_SCHEDULER_HPP
@@ -23,6 +23,9 @@
 #include "serve/workload.hpp"
 
 namespace hygcn::serve {
+
+/** Cost curves indexed [class][scenario][batch-1]. */
+using CostCurves = std::vector<std::vector<std::vector<Cycle>>>;
 
 /** Complete, reproducible outcome of one serving simulation. */
 struct ServeResult
@@ -52,6 +55,14 @@ struct ServeResult
      */
     std::vector<std::vector<Cycle>> unitCyclesByClass;
 
+    /**
+     * Full cost curves per [class][scenario][batch-1] in the cluster
+     * time base: the cycles(B) each dispatch, routing choice, and
+     * deadline-aware fill consulted. Element [c][s][0] equals
+     * unitCyclesByClass[c][s].
+     */
+    CostCurves cyclesByBatchByClass;
+
     /** Cluster clock (the first class's), for cycles -> seconds. */
     double clockHz = 1e9;
 
@@ -65,9 +76,10 @@ struct ServeResult
 
 /**
  * Event-driven serving simulation: generates the request stream,
- * prices each (instance class, scenario) pair with one Platform run
- * (through the PricedScenarioCache), then advances cluster time over
- * arrivals, batch timeouts, and instance completions, dispatching
+ * prices each (instance class, scenario) pair into a cost curve with
+ * one Platform run plus the configured BatchCostModel (through the
+ * PricedScenarioCache), then advances cluster time over arrivals,
+ * batch timeouts, and instance completions, dispatching
  * policy-chosen batches to the cheapest free instance class.
  * Deterministic: equal configs yield equal results, including the
  * full per-request trace.
@@ -79,8 +91,8 @@ class Scheduler
 
     /**
      * Resolve the cluster's platforms from the Registry, price
-     * scenarios through the process-wide PricedScenarioCache, and
-     * simulate.
+     * scenario curves through the process-wide PricedScenarioCache,
+     * and simulate.
      */
     ServeResult run() const;
 
@@ -105,13 +117,16 @@ class Scheduler
     /** Event loop over a priced cluster. */
     ServeResult
     simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
-             const std::vector<std::vector<Cycle>> &unit,
-             double clock_hz) const;
+             const CostCurves &curves, double clock_hz) const;
 
     ServeConfig config_;
 };
 
-/** Service cycles of a batch of @p size unit-cost-@p unit requests. */
+/**
+ * Service cycles of a batch of @p size unit-cost-@p unit requests
+ * under the legacy marginal-fraction pricing (what the "marginal"
+ * cost model computes per curve point).
+ */
 Cycle batchServiceCycles(Cycle unit, std::size_t size,
                          double marginal_fraction);
 

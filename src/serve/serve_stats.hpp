@@ -142,6 +142,16 @@ struct ServeStats
     /** Per-instance busy fraction, indexed by instance id. */
     std::vector<double> instanceUtilization;
 
+    /**
+     * Deadline misses avoided by deadline-aware batch sizing: fills
+     * the policy capped below maxBatch because the cost curve said
+     * one more member would blow the tightest queued deadline, and
+     * whose realized service time then actually kept that head
+     * inside it. 0 unless ServeConfig::deadlineAwareBatching drives
+     * an "edf" run.
+     */
+    std::uint64_t deadlineCapsAvoided = 0;
+
     /** Per-tenant breakdown, in ServeConfig::tenants order. */
     std::vector<TenantStats> tenantStats;
 

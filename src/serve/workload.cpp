@@ -96,6 +96,8 @@ ServeConfig::validate() const
     if (!(batchMarginalFraction >= 0.0))
         throw std::invalid_argument(
             "serve: batchMarginalFraction must be >= 0");
+    if (costModel.empty())
+        throw std::invalid_argument("serve: costModel name is empty");
 }
 
 std::vector<TenantMix>

@@ -169,9 +169,29 @@ struct ServeConfig
      * Marginal cost of each request beyond the first in a batch, as
      * a fraction of the scenario's unit service cycles: weights and
      * graph structure are already resident, so co-batched inferences
-     * amortize them. 1.0 disables the batching benefit.
+     * amortize them. 1.0 disables the batching benefit. Consumed by
+     * the "marginal" cost model only.
      */
     double batchMarginalFraction = 0.35;
+
+    /**
+     * Registry key of the batch cost model pricing co-scheduled
+     * requests ("marginal", "analytic", "measured"): the model turns
+     * each (instance class, scenario) unit run into a cost curve
+     * cycles(B) for B = 1..maxBatch that service times, routing, and
+     * deadline-aware batch sizing all consult.
+     */
+    std::string costModel = "marginal";
+
+    /**
+     * Deadline-aware batch sizing for the "edf" policy: stop filling
+     * a batch at the size where the cost curve says one more member
+     * would push the tightest queued deadline past its SLO.
+     * ServeStats::deadlineCapsAvoided counts the saves. Off by
+     * default (batch fills are then curve-blind, the legacy
+     * behavior); other policies ignore the flag.
+     */
+    bool deadlineAwareBatching = false;
 
     /** Instances across the cluster (classes, or the shorthand). */
     std::uint32_t totalInstances() const

@@ -95,6 +95,12 @@ toJson(const SimReport &report)
     std::string out = "{";
     out += "\"platform\":\"" + jsonEscape(report.platform) + "\",";
     out += "\"cycles\":" + std::to_string(report.cycles) + ",";
+    // Phase breakdown emits only when the platform has the phase, so
+    // reports of phase-less platforms (and their goldens) are
+    // byte-stable.
+    if (report.combWeightLoadCycles != 0)
+        out += "\"comb_weight_load_cycles\":" +
+               std::to_string(report.combWeightLoadCycles) + ",";
     out += "\"seconds\":" + number(report.seconds()) + ",";
     out += "\"joules\":" + number(report.joules()) + ",";
     out += "\"dram_bytes\":" + std::to_string(report.dramBytes()) + ",";
@@ -156,6 +162,12 @@ toJson(const api::RunSpec &spec)
     out += std::string("\"with_readout\":") +
            (spec.withReadout ? "true" : "false") + ",";
     out += "\"sample_factor\":" + std::to_string(spec.sampleFactor) + ",";
+    // Emitted only off-default so unbatched specs (goldens, cache
+    // keys) keep their exact serialized form; != 1 (not > 1) so an
+    // invalid 0 can never alias the default's serialized form.
+    if (spec.batchCopies != 1)
+        out += "\"batch_copies\":" + std::to_string(spec.batchCopies) +
+               ",";
 
     // Full accelerator config, so runs differing only via a custom
     // base config (not a vary() axis) stay distinguishable. Applies
@@ -274,6 +286,14 @@ toJson(const serve::ServeConfig &config)
            std::to_string(config.batchTimeoutCycles) + ",";
     out += "\"batch_marginal_fraction\":" +
            number(config.batchMarginalFraction);
+    // Cost-model fields emit only off their defaults so marginal
+    // configs — including the checked-in serve golden and the bench
+    // baseline — stay byte-identical.
+    if (config.costModel != "marginal")
+        out += ",\"cost_model\":\"" + jsonEscape(config.costModel) +
+               "\"";
+    if (config.deadlineAwareBatching)
+        out += ",\"deadline_aware_batching\":true";
     out += "}";
     return out;
 }
@@ -308,6 +328,9 @@ toJson(const serve::ServeResult &result, bool per_request)
         out += number(stats.instanceUtilization[i]);
     }
     out += "]";
+    if (result.config.deadlineAwareBatching)
+        out += ",\"deadline_caps_avoided\":" +
+               std::to_string(stats.deadlineCapsAvoided);
     // Breakdowns emit only when the config declares the dimension
     // (explicit tenants / an explicit cluster), keeping the default
     // FIFO homogeneous golden byte-identical.
@@ -365,6 +388,32 @@ toJson(const serve::ServeResult &result, bool per_request)
                 if (s)
                     out += ",";
                 out += std::to_string(result.unitCyclesByClass[c][s]);
+            }
+            out += "]";
+        }
+        out += "],";
+    }
+    // The full cost curves emit only for non-default cost models:
+    // under "marginal" they are derivable from the unit cycles and
+    // the fraction, and the golden must stay byte-identical.
+    if (result.config.costModel != "marginal") {
+        out += "\"unit_cycles_by_batch\":[";
+        for (std::size_t c = 0; c < result.cyclesByBatchByClass.size();
+             ++c) {
+            if (c)
+                out += ",";
+            out += "[";
+            const auto &klass = result.cyclesByBatchByClass[c];
+            for (std::size_t s = 0; s < klass.size(); ++s) {
+                if (s)
+                    out += ",";
+                out += "[";
+                for (std::size_t b = 0; b < klass[s].size(); ++b) {
+                    if (b)
+                        out += ",";
+                    out += std::to_string(klass[s][b]);
+                }
+                out += "]";
             }
             out += "]";
         }

@@ -29,6 +29,17 @@ struct SimReport
     /** Platform clock frequency in Hz (for seconds conversion). */
     double clockHz = 1e9;
 
+    /**
+     * Phase breakdown: critical-path cycles spent loading layer
+     * weights (Combination Engine beginLayer DRAM fetches). This
+     * phase depends on the model only, so a weights-resident
+     * pipeline serving B co-batched graphs pays it once; the
+     * remaining cycles - combWeightLoadCycles are per-graph
+     * aggregation/combination work. 0 for platforms without the
+     * phase (baselines, Aggregation-Engine-only mode).
+     */
+    Cycle combWeightLoadCycles = 0;
+
     /** Event counters (DRAM traffic, ops, row hits, ...). */
     StatGroup stats;
 

@@ -96,3 +96,17 @@ TEST(Goldens, ServeRunJsonIsByteStable)
     ASSERT_EQ(result.requests.size(), result.config.numRequests);
     compareOrUpdate("serve_run.json", toJson(result));
 }
+
+TEST(Goldens, AnalyticServeRunJsonIsByteStable)
+{
+    // The same smoke workload priced by the analytic weights-resident
+    // cost model: pins the phase breakdown (combination weight-load
+    // cycles), the analytic curve math, and the off-default JSON
+    // fields (cost_model, unit_cycles_by_batch) byte-exactly.
+    const serve::ServeResult result =
+        api::ServeSession::workload("serve-smoke")
+            .costModel("analytic")
+            .run();
+    ASSERT_EQ(result.requests.size(), result.config.numRequests);
+    compareOrUpdate("serve_run_analytic.json", toJson(result));
+}

@@ -414,22 +414,25 @@ TEST(PricedScenarioCache, PricesEachScenarioOnceProcessWide)
     ServeConfig config = aggConfig();
     config.seed = 404; // distinct stream; pricing ignores the seed
     runServe(config);
+    // Each scenario creates one curve entry plus the shared unit
+    // entry its curve is assembled from; only the unit entries run
+    // the Platform.
     const std::uint64_t misses_first = cache.misses();
-    EXPECT_EQ(misses_first, config.scenarios.size());
-    EXPECT_EQ(cache.size(), config.scenarios.size());
+    EXPECT_EQ(misses_first, 2 * config.scenarios.size());
+    EXPECT_EQ(cache.size(), 2 * config.scenarios.size());
 
     // A second run — different arrivals, same scenarios — prices
-    // nothing new.
+    // nothing new: the curve entries hit directly.
     config.seed = 405;
     runServe(config);
     EXPECT_EQ(cache.misses(), misses_first);
     EXPECT_EQ(cache.hits(), config.scenarios.size());
-    EXPECT_EQ(cache.size(), config.scenarios.size());
+    EXPECT_EQ(cache.size(), 2 * config.scenarios.size());
 
     // A different platform keys separately.
     config.platform = "pyg-cpu";
     runServe(config);
-    EXPECT_EQ(cache.misses(), 2 * config.scenarios.size());
+    EXPECT_EQ(cache.misses(), 2 * misses_first);
 }
 
 TEST(PricedScenarioCache, KeysSeparatePerClassConfigs)
@@ -444,8 +447,9 @@ TEST(PricedScenarioCache, KeysSeparatePerClassConfigs)
     config.cluster.classes = {{"hygcn-agg", 1, {}, "base"},
                               {"hygcn-agg", 1, fat, "fat"}};
     const ServeResult result = runServe(config);
-    // Same platform, different per-class config: two pricing runs.
-    EXPECT_EQ(cache.misses(), 2u);
+    // Same platform, different per-class config: two pricing runs
+    // (each a curve entry over its own unit entry).
+    EXPECT_EQ(cache.misses(), 4u);
     ASSERT_EQ(result.unitCyclesByClass.size(), 2u);
     EXPECT_NE(result.unitCyclesByClass[0][0],
               result.unitCyclesByClass[1][0]);
@@ -466,7 +470,7 @@ TEST(PricedScenarioCache, FailedPricingIsCachedAndRethrown)
     EXPECT_THROW(cache.price("not-a-platform", bad), std::out_of_range);
     api::RunSpec good = bad;
     good.model = ModelId::GCN;
-    EXPECT_GT(cache.price("hygcn-agg", good).unitCycles, 0u);
+    EXPECT_GT(cache.price("hygcn-agg", good).unitCycles(), 0u);
 }
 
 TEST(PricedScenarioCache, ConcurrentServeRunsAgree)

@@ -1,0 +1,155 @@
+/**
+ * ServeSweep: cartesian expansion over policy x cost model x cluster
+ * x arrival rate in deterministic declaration order, parallel runAll
+ * equal to sequential byte-for-byte, error propagation, and pricing
+ * shared across the whole sweep through the PricedScenarioCache.
+ */
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "api/serve_sweep.hpp"
+#include "serve/priced_cache.hpp"
+#include "sim/json.hpp"
+
+using namespace hygcn;
+using namespace hygcn::serve;
+
+namespace {
+
+/** Small dataset scale so sweep tests stay fast. */
+constexpr double kScale = 0.2;
+
+ServeConfig
+baseConfig()
+{
+    ServeConfig config;
+    config.platform = "hygcn-agg";
+    config.scenarios = {{"cora/gcn", {}}, {"citeseer/gcn", {}}};
+    config.scenarios[0].spec.dataset = DatasetId::CR;
+    config.scenarios[1].spec.dataset = DatasetId::CS;
+    for (ServeScenario &s : config.scenarios)
+        s.spec.datasetScale = kScale;
+    config.numRequests = 32;
+    config.meanInterarrivalCycles = 20000.0;
+    config.instances = 2;
+    config.maxBatch = 4;
+    config.batchTimeoutCycles = 50000;
+    return config;
+}
+
+} // namespace
+
+TEST(ServeSweep, ExpandsTheCartesianProductInDeclarationOrder)
+{
+    api::ServeSweep sweep{baseConfig()};
+    sweep.policies({"fifo", "edf"})
+        .costModels({"marginal", "analytic"})
+        .arrivalRates({20000.0, 10000.0});
+    EXPECT_EQ(sweep.size(), 8u);
+    const std::vector<ServeConfig> configs = sweep.expand();
+    ASSERT_EQ(configs.size(), 8u);
+    // Policies outermost, arrival rates innermost.
+    EXPECT_EQ(configs[0].policy, "fifo");
+    EXPECT_EQ(configs[0].costModel, "marginal");
+    EXPECT_DOUBLE_EQ(configs[0].meanInterarrivalCycles, 20000.0);
+    EXPECT_DOUBLE_EQ(configs[1].meanInterarrivalCycles, 10000.0);
+    EXPECT_EQ(configs[2].costModel, "analytic");
+    EXPECT_EQ(configs[4].policy, "edf");
+    EXPECT_EQ(configs[7].policy, "edf");
+    EXPECT_EQ(configs[7].costModel, "analytic");
+    EXPECT_DOUBLE_EQ(configs[7].meanInterarrivalCycles, 10000.0);
+    // Unvaried knobs carry over from the base.
+    for (const ServeConfig &config : configs) {
+        EXPECT_EQ(config.numRequests, 32u);
+        EXPECT_EQ(config.maxBatch, 4u);
+        config.validate();
+    }
+}
+
+TEST(ServeSweep, UnsetAxesFallBackToTheBase)
+{
+    ServeConfig base = baseConfig();
+    base.policy = "fair-share";
+    base.costModel = "analytic";
+    api::ServeSweep sweep{base};
+    EXPECT_EQ(sweep.size(), 1u);
+    const std::vector<ServeConfig> configs = sweep.expand();
+    ASSERT_EQ(configs.size(), 1u);
+    EXPECT_EQ(configs[0].policy, "fair-share");
+    EXPECT_EQ(configs[0].costModel, "analytic");
+}
+
+TEST(ServeSweep, ClusterAxisSweepsClusterShapes)
+{
+    ClusterSpec mixed;
+    mixed.classes = {{"hygcn-agg", 2, {}, ""}, {"pyg-cpu", 1, {}, ""}};
+    api::ServeSweep sweep{baseConfig()};
+    sweep.clusters({ClusterSpec{}, mixed});
+    const std::vector<ServeConfig> configs = sweep.expand();
+    ASSERT_EQ(configs.size(), 2u);
+    EXPECT_TRUE(configs[0].cluster.empty()); // homogeneous shorthand
+    ASSERT_EQ(configs[1].cluster.classes.size(), 2u);
+
+    const std::vector<ServeResult> results = sweep.runAll();
+    ASSERT_EQ(results.size(), 2u);
+    EXPECT_EQ(results[0].instances.size(), 2u);
+    EXPECT_EQ(results[1].instances.size(), 3u);
+}
+
+TEST(ServeSweep, ParallelRunAllMatchesSequentialByteForByte)
+{
+    auto sweep = [] {
+        api::ServeSweep s{baseConfig()};
+        s.policies({"fifo", "edf", "fair-share"})
+            .costModels({"marginal", "analytic"});
+        return s;
+    };
+    const std::vector<ServeResult> sequential =
+        sweep().threads(1).runAll();
+    const std::vector<ServeResult> parallel = sweep().threads(4).runAll();
+    ASSERT_EQ(sequential.size(), 6u);
+    ASSERT_EQ(parallel.size(), 6u);
+    for (std::size_t i = 0; i < sequential.size(); ++i)
+        EXPECT_EQ(toJson(sequential[i]), toJson(parallel[i])) << i;
+}
+
+TEST(ServeSweep, SharesPricingAcrossTheWholeSweep)
+{
+    PricedScenarioCache &cache = PricedScenarioCache::global();
+    cache.clear();
+    api::ServeSweep sweep{baseConfig()};
+    sweep.policies({"fifo", "edf", "fair-share"})
+        .arrivalRates({20000.0, 10000.0, 5000.0});
+    sweep.runAll();
+    // Nine runs, one curve + one unit entry per scenario: policies
+    // and arrival rates are pricing-irrelevant.
+    EXPECT_EQ(cache.misses(), 2 * baseConfig().scenarios.size());
+    EXPECT_GT(cache.hits(), 0u);
+}
+
+TEST(ServeSweep, FirstFailureIsRethrown)
+{
+    api::ServeSweep sweep{baseConfig()};
+    sweep.policies({"fifo", "lifo"});
+    EXPECT_THROW(sweep.runAll(), std::out_of_range);
+}
+
+TEST(ServeSweep, WorkloadPresetIsSweepable)
+{
+    api::ServeSweep sweep = api::ServeSweep::workload("serve-smoke");
+    for (ServeScenario &s : sweep.base().scenarios)
+        s.spec.datasetScale = kScale;
+    sweep.base().platform = "hygcn-agg";
+    for (ServeScenario &s : sweep.base().scenarios)
+        s.spec.model = ModelId::GCN;
+    sweep.base().numRequests = 24;
+    sweep.policies({"fifo", "edf"});
+    const std::vector<ServeResult> results = sweep.runAll();
+    ASSERT_EQ(results.size(), 2u);
+    for (const ServeResult &result : results)
+        EXPECT_EQ(result.requests.size(), 24u);
+}
