@@ -10,9 +10,13 @@ The bench schema is selected by the documents' "bench" field:
 - fig10_speedup: compares the CPU algorithm-optimization speedup of
   every cpu_opt case and HyGCN's vs_cpu speedup of every hygcn case
   (higher is better).
+- fig11_energy: compares HyGCN's normalized energy (% of PyG-CPU and
+  % of PyG-GPU) of every hygcn case (lower is better — a growing
+  percentage is an energy-efficiency drop).
 
-All metrics derive from simulated cycles, which are deterministic in
-the config, so any drift is a real behavior change, not host noise;
+All metrics derive from simulated cycles and the deterministic
+energy model, both fixed by the config, so any drift is a real
+behavior change, not host noise;
 the gate still allows MAX_REL (default 0.25, i.e. 25%) of relative
 regression so intentional small model refinements don't have to land
 in lockstep with a baseline refresh.
@@ -36,6 +40,13 @@ SCHEMAS = {
         # vs_gpu is absent from OoM cells (deterministically, on both
         # sides); entries carrying it in the baseline are gated.
         ("hygcn", "case", "vs_gpu", "higher"),
+    ),
+    "fig11_energy": (
+        # Normalized energy percentages: growth means HyGCN consumes
+        # relatively more than the baseline, i.e. lost efficiency.
+        ("hygcn", "case", "vs_cpu_pct", "lower"),
+        # vs_gpu_pct is absent from OoM cells, like fig10's vs_gpu.
+        ("hygcn", "case", "vs_gpu_pct", "lower"),
     ),
 }
 

@@ -114,6 +114,30 @@ main()
                     static_cast<unsigned long long>(cls.batches),
                     cls.utilization * 100.0);
 
+    // The same mixed cluster routed by energy instead of cycles:
+    // dispatches score free classes on the priced joules(B) twins,
+    // and the stats gain per-run/per-class joules.
+    const serve::ServeResult frugal =
+        api::ServeSession()
+            .datasetScale(0.2)
+            .scenario("cora", "gcn")
+            .scenario("citeseer", "gcn")
+            .instanceClass("hygcn", 2)
+            .instanceClass("pyg-cpu", 1)
+            .routeObjective("energy")
+            .requests(192)
+            .meanInterarrival(30000.0)
+            .seed(7)
+            .run();
+    std::printf("\nsame cluster, energy-aware routing: %.3g J total, "
+                "%.3g J/request\n",
+                frugal.stats.totalJoules,
+                frugal.stats.meanJoulesPerRequest);
+    for (const serve::ClassStats &cls : frugal.stats.classStats)
+        std::printf("  %-8s %llu batches, %.3g J\n", cls.label.c_str(),
+                    static_cast<unsigned long long>(cls.batches),
+                    cls.joules);
+
     // Aggregate JSON of the 2-instance run; pass per_request=true to
     // toJson for the full per-request/per-batch trace instead.
     std::printf("\ncompact JSON (no per-request trace):\n%s\n",

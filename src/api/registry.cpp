@@ -6,6 +6,7 @@
 
 #include "serve/cost_model.hpp"
 #include "serve/policy.hpp"
+#include "serve/route_objective.hpp"
 
 namespace hygcn::api {
 
@@ -71,6 +72,16 @@ Registry::Registry()
     });
     registerCostModel("measured", [] {
         return std::make_unique<serve::MeasuredCostModel>();
+    });
+
+    registerObjective("cycles", [] {
+        return std::make_unique<serve::CyclesObjective>();
+    });
+    registerObjective("energy", [] {
+        return std::make_unique<serve::EnergyObjective>();
+    });
+    registerObjective("edp", [] {
+        return std::make_unique<serve::EdpObjective>();
     });
 
     for (DatasetId id : allDatasets()) {
@@ -333,6 +344,42 @@ Registry::costModelNames() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return keysOf(costModels_);
+}
+
+void
+Registry::registerObjective(const std::string &name,
+                            ObjectiveFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    objectives_[lower(name)] = std::move(factory);
+}
+
+std::unique_ptr<serve::RouteObjective>
+Registry::makeObjective(const std::string &name) const
+{
+    ObjectiveFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = objectives_.find(lower(name));
+        if (it == objectives_.end())
+            throwUnknown("routing objective", name, keysOf(objectives_));
+        factory = it->second;
+    }
+    return factory();
+}
+
+bool
+Registry::hasObjective(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return objectives_.count(lower(name)) > 0;
+}
+
+std::vector<std::string>
+Registry::objectiveNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(objectives_);
 }
 
 } // namespace hygcn::api

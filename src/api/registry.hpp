@@ -37,6 +37,7 @@
 
 namespace hygcn::serve {
 class BatchCostModel;
+class RouteObjective;
 class SchedulerPolicy;
 } // namespace hygcn::serve
 
@@ -62,6 +63,9 @@ class Registry
     /** Builds a serving batch cost model. */
     using CostModelFactory =
         std::function<std::unique_ptr<serve::BatchCostModel>()>;
+    /** Builds a serving routing objective. */
+    using ObjectiveFactory =
+        std::function<std::unique_ptr<serve::RouteObjective>()>;
 
     /** Constructs a registry pre-loaded with the built-ins. */
     Registry();
@@ -125,6 +129,16 @@ class Registry
     bool hasCostModel(const std::string &name) const;
     std::vector<std::string> costModelNames() const;
 
+    // ---- serving routing objectives ----------------------------
+    void registerObjective(const std::string &name,
+                           ObjectiveFactory factory);
+    /** Build routing objective @p name; throws std::out_of_range
+     *  with the known keys listed if the name is unknown. */
+    std::unique_ptr<serve::RouteObjective>
+    makeObjective(const std::string &name) const;
+    bool hasObjective(const std::string &name) const;
+    std::vector<std::string> objectiveNames() const;
+
   private:
     template <class Map>
     static std::vector<std::string> keysOf(const Map &map);
@@ -138,6 +152,7 @@ class Registry
     std::map<std::string, WorkloadFactory> workloads_;
     std::map<std::string, PolicyFactory> policies_;
     std::map<std::string, CostModelFactory> costModels_;
+    std::map<std::string, ObjectiveFactory> objectives_;
 };
 
 } // namespace hygcn::api

@@ -179,6 +179,13 @@ ServeSession::costModel(const std::string &name)
 }
 
 ServeSession &
+ServeSession::routeObjective(const std::string &name)
+{
+    config_.routeObjective = name;
+    return *this;
+}
+
+ServeSession &
 ServeSession::deadlineAwareBatching(bool on)
 {
     config_.deadlineAwareBatching = on;

@@ -110,6 +110,10 @@ class ServeSession
      *  requests ("marginal", "analytic", "measured"). */
     ServeSession &costModel(const std::string &name);
 
+    /** Registry key of the routing objective scoring candidate
+     *  instance classes ("cycles", "energy", "edp"). */
+    ServeSession &routeObjective(const std::string &name);
+
     /** Deadline-aware EDF batch sizing: stop filling a batch where
      *  the cost curve says one more member would blow the tightest
      *  queued deadline. */

@@ -32,9 +32,23 @@ ServeSweep::costModels(std::vector<std::string> names)
 }
 
 ServeSweep &
+ServeSweep::objectives(std::vector<std::string> names)
+{
+    objectives_ = std::move(names);
+    return *this;
+}
+
+ServeSweep &
 ServeSweep::clusters(std::vector<serve::ClusterSpec> specs)
 {
     clusters_ = std::move(specs);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::maxBatches(std::vector<std::uint32_t> sizes)
+{
+    maxBatches_ = std::move(sizes);
     return *this;
 }
 
@@ -57,7 +71,9 @@ ServeSweep::size() const
 {
     return std::max<std::size_t>(policies_.size(), 1) *
            std::max<std::size_t>(costModels_.size(), 1) *
+           std::max<std::size_t>(objectives_.size(), 1) *
            std::max<std::size_t>(clusters_.size(), 1) *
+           std::max<std::size_t>(maxBatches_.size(), 1) *
            std::max<std::size_t>(arrivalRates_.size(), 1);
 }
 
@@ -71,9 +87,16 @@ ServeSweep::expand() const
     const std::vector<std::string> cost_models =
         costModels_.empty() ? std::vector<std::string>{base_.costModel}
                             : costModels_;
+    const std::vector<std::string> objectives =
+        objectives_.empty()
+            ? std::vector<std::string>{base_.routeObjective}
+            : objectives_;
     const std::vector<serve::ClusterSpec> clusters =
         clusters_.empty() ? std::vector<serve::ClusterSpec>{base_.cluster}
                           : clusters_;
+    const std::vector<std::uint32_t> max_batches =
+        maxBatches_.empty() ? std::vector<std::uint32_t>{base_.maxBatch}
+                            : maxBatches_;
     const std::vector<double> rates =
         arrivalRates_.empty()
             ? std::vector<double>{base_.meanInterarrivalCycles}
@@ -83,15 +106,19 @@ ServeSweep::expand() const
     configs.reserve(size());
     for (const std::string &policy : policies)
         for (const std::string &cost_model : cost_models)
-            for (const serve::ClusterSpec &cluster : clusters)
-                for (double rate : rates) {
-                    serve::ServeConfig config = base_;
-                    config.policy = policy;
-                    config.costModel = cost_model;
-                    config.cluster = cluster;
-                    config.meanInterarrivalCycles = rate;
-                    configs.push_back(std::move(config));
-                }
+            for (const std::string &objective : objectives)
+                for (const serve::ClusterSpec &cluster : clusters)
+                    for (std::uint32_t max_batch : max_batches)
+                        for (double rate : rates) {
+                            serve::ServeConfig config = base_;
+                            config.policy = policy;
+                            config.costModel = cost_model;
+                            config.routeObjective = objective;
+                            config.cluster = cluster;
+                            config.maxBatch = max_batch;
+                            config.meanInterarrivalCycles = rate;
+                            configs.push_back(std::move(config));
+                        }
     return configs;
 }
 

@@ -3,15 +3,16 @@
  * Cartesian sweeps over serving configurations, mirroring
  * Session/SweepBuilder for the serve layer: a ServeSweep starts from
  * a base ServeConfig (or a ServeSession under construction) and
- * varies scheduling policy x batch cost model x arrival rate x
- * cluster shape, executing the expansion on a std::thread worker
- * pool:
+ * varies scheduling policy x batch cost model x routing objective x
+ * cluster shape x max batch size x arrival rate, executing the
+ * expansion on a std::thread worker pool:
  *
  *   auto results = ServeSweep(session.config())
  *                      .policies({"fifo", "edf"})
  *                      .costModels({"marginal", "analytic"})
+ *                      .objectives({"cycles", "edp"})
  *                      .arrivalRates({250000.0, 125000.0})
- *                      .runAll();   // 8 runs, expansion order
+ *                      .runAll();   // 16 runs, expansion order
  *
  * Every run prices its scenarios through the process-wide
  * PricedScenarioCache, so the whole sweep performs one Platform run
@@ -58,9 +59,15 @@ class ServeSweep
     /** Batch cost models. */
     ServeSweep &costModels(std::vector<std::string> names);
 
+    /** Routing objectives ("cycles", "energy", "edp"). */
+    ServeSweep &objectives(std::vector<std::string> names);
+
     /** Cluster shapes (ClusterSpec per value; an empty spec selects
      *  the base's homogeneous shorthand). */
     ServeSweep &clusters(std::vector<serve::ClusterSpec> specs);
+
+    /** Largest batch sizes one instance serves at once. */
+    ServeSweep &maxBatches(std::vector<std::uint32_t> sizes);
 
     /** Mean interarrival gaps in cycles, innermost axis. */
     ServeSweep &arrivalRates(std::vector<double> mean_interarrival_cycles);
@@ -74,7 +81,8 @@ class ServeSweep
     /**
      * Expand the cartesian product into concrete configs, in
      * deterministic declaration order: policies outermost, then cost
-     * models, clusters, and arrival rates innermost.
+     * models, objectives, clusters, max batch sizes, and arrival
+     * rates innermost.
      */
     std::vector<serve::ServeConfig> expand() const;
 
@@ -89,7 +97,9 @@ class ServeSweep
     serve::ServeConfig base_;
     std::vector<std::string> policies_;
     std::vector<std::string> costModels_;
+    std::vector<std::string> objectives_;
     std::vector<serve::ClusterSpec> clusters_;
+    std::vector<std::uint32_t> maxBatches_;
     std::vector<double> arrivalRates_;
     unsigned threads_ = 0;
 };

@@ -405,6 +405,7 @@ HyGCNAccelerator::run(const Dataset &dataset, const ModelConfig &model,
     result.report.cycles = now;
     result.report.clockHz = config_.clockHz;
     result.report.combWeightLoadCycles = ctx.comb.weightLoadCycles();
+    result.report.combWeightLoadEnergyPj = ctx.comb.weightLoadEnergyPj();
     result.report.stats.merge(ctx.stats);
     result.report.stats.merge(ctx.hbm.stats());
     result.report.stats.merge(ctx.coord.stats());

@@ -43,6 +43,15 @@ CombinationEngine::beginLayer(std::uint64_t param_bytes,
     const Cycle done = coordinator_.issueBatch(std::move(reqs), now);
     weightBuf_.write(param_bytes, ledger_, stats_);
     weightLoadCycles_ += done - now;
+    // The phase's energy: the HBM fetch of the parameters plus the
+    // Weight Buffer fill (the same charges the ledger just took,
+    // tracked separately so SimReport can expose the batch-invariant
+    // split). The DRAM share is charged to the ledger later, from
+    // aggregate traffic, at the same per-byte rate.
+    weightLoadEnergyPj_ +=
+        config_.energy.hbmPerByte() * static_cast<double>(param_bytes) +
+        config_.energy.edramPerByte(config_.weightBufBytes) *
+            static_cast<double>(param_bytes);
     stats_.add("comb.weight_load_cycles", done - now);
     return done;
 }

@@ -93,6 +93,14 @@ class CombinationEngine
      */
     Cycle weightLoadCycles() const { return weightLoadCycles_; }
 
+    /**
+     * Energy (picojoules) of the same batch-invariant phase: the
+     * beginLayer weight DRAM fetches plus the Weight Buffer fills
+     * they land in. The serving tier's analytic energy curve
+     * amortizes exactly this over co-batched inferences.
+     */
+    PicoJoule weightLoadEnergyPj() const { return weightLoadEnergyPj_; }
+
   private:
     /** Geometry used under the current pipeline mode. */
     SystolicGeometry activeGeometry() const;
@@ -114,6 +122,8 @@ class CombinationEngine
     bool weightsResident_ = false;
     /** Accumulated beginLayer weight-load cycles (batch-invariant). */
     Cycle weightLoadCycles_ = 0;
+    /** Accumulated beginLayer weight-load energy (batch-invariant). */
+    PicoJoule weightLoadEnergyPj_ = 0.0;
 };
 
 } // namespace hygcn

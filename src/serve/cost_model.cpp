@@ -14,6 +14,22 @@ BatchCostModel::priceKey(const ServeConfig &) const
     return {};
 }
 
+std::vector<double>
+BatchCostModel::energyCurve(const CostModelInputs &in) const
+{
+    // The marginal scaling, as a base default: each member beyond
+    // the first costs the marginal fraction of the unit run's energy
+    // (resident weights and graph structure amortize energy just as
+    // they amortize time). Models with a better split override.
+    std::vector<double> out;
+    out.reserve(in.maxBatch);
+    for (std::uint32_t b = 1; b <= in.maxBatch; ++b)
+        out.push_back(in.unitJoules *
+                      (1.0 + in.marginalFraction *
+                                 static_cast<double>(b - 1)));
+    return out;
+}
+
 Cycle
 curveAt(const std::vector<Cycle> &curve, std::size_t size)
 {
@@ -21,6 +37,14 @@ curveAt(const std::vector<Cycle> &curve, std::size_t size)
         return size == 0 ? 0 : 1;
     const std::size_t idx = std::min(size, curve.size()) - 1;
     return std::max<Cycle>(curve[idx], 1);
+}
+
+double
+energyCurveAt(const std::vector<double> &curve, std::size_t size)
+{
+    if (size == 0 || curve.empty())
+        return 0.0;
+    return curve[std::min(size, curve.size()) - 1];
 }
 
 // ---- marginal ------------------------------------------------------
@@ -69,6 +93,24 @@ AnalyticCostModel::curve(const CostModelInputs &in) const
     return out;
 }
 
+std::vector<double>
+AnalyticCostModel::energyCurve(const CostModelInputs &in) const
+{
+    // The energy split mirrors the timing split: the weight fetch
+    // energy W_j is spent once per co-batch, the per-graph remainder
+    // (aggregation, MACs, feature traffic) once per member. Same
+    // clamp as the cycles curve, so a phase-less platform degrades
+    // to B independent runs.
+    const double unit = in.unitJoules;
+    const double w = std::min(in.weightLoadJoules, unit);
+    const double per_graph = unit - w;
+    std::vector<double> out;
+    out.reserve(in.maxBatch);
+    for (std::uint32_t b = 1; b <= in.maxBatch; ++b)
+        out.push_back(w + per_graph * static_cast<double>(b));
+    return out;
+}
+
 // ---- measured ------------------------------------------------------
 
 std::vector<Cycle>
@@ -91,6 +133,27 @@ MeasuredCostModel::curve(const CostModelInputs &in) const
         const Cycle cap =
             in.unitCycles * static_cast<Cycle>(b);
         const Cycle measured = std::min(in.measuredCycles(b), cap);
+        out.push_back(std::max(out.back(), measured));
+    }
+    return out;
+}
+
+std::vector<double>
+MeasuredCostModel::energyCurve(const CostModelInputs &in) const
+{
+    if (!in.measuredJoules)
+        throw std::logic_error(
+            "serve: measured cost model needs a co-batch energy "
+            "runner");
+    // Same clamps as the cycles curve: B independent unit runs bound
+    // the co-batch's energy above, and a batch of B-1 never costs
+    // more than a batch of B.
+    std::vector<double> out;
+    out.reserve(in.maxBatch);
+    out.push_back(in.unitJoules);
+    for (std::uint32_t b = 2; b <= in.maxBatch; ++b) {
+        const double cap = in.unitJoules * static_cast<double>(b);
+        const double measured = std::min(in.measuredJoules(b), cap);
         out.push_back(std::max(out.back(), measured));
     }
     return out;

@@ -19,10 +19,21 @@
  *    co-batch (RunSpec::batchCopies through the multi-graph dataset
  *    path), memoized per batch size in the PricedScenarioCache.
  *
+ * Every priced curve carries an energy twin joules(B) alongside
+ * cycles(B), produced by the same model from the unit run's energy
+ * report: "marginal" scales the unit energy by the same marginal
+ * fraction, "analytic" splits the batch-invariant weight-load energy
+ * (SimReport::combWeightLoadEnergyPj) from the per-member remainder,
+ * and "measured" reads the joules of the real B-graph co-batch runs.
+ * Energy/EDP-aware routing consumes the twin; the default "cycles"
+ * objective never looks at it.
+ *
  * Every curve a model produces is anchored at cycles(1) == unit,
  * monotone non-decreasing in B, and subadditive versus B independent
  * unit runs (cycles(B) <= B * unit) — properties the scheduler's
  * batch sizing and routing rely on, enforced here by construction.
+ * The joules(B) twin keeps the same three invariants against the
+ * unit run's energy.
  */
 
 #ifndef HYGCN_SERVE_COST_MODEL_HPP
@@ -57,12 +68,28 @@ struct CostModelInputs
     /** ServeConfig::batchMarginalFraction (the "marginal" knob). */
     double marginalFraction = 0.35;
 
+    /** B=1 total energy in joules. */
+    double unitJoules = 0.0;
+
+    /**
+     * Batch-invariant energy of the unit run, in joules: what the
+     * Combination Engine spent fetching layer weights (0 for
+     * platforms without the phase, which then amortize nothing).
+     */
+    double weightLoadJoules = 0.0;
+
     /**
      * Cycles of one real platform run over a B-graph co-batch,
      * memoized process-wide (only the "measured" model calls this;
      * models that never do stay one-Platform-run cheap).
      */
     std::function<Cycle(std::uint32_t copies)> measuredCycles;
+
+    /**
+     * Joules of the same memoized co-batch run (shares the unit
+     * entry with measuredCycles, so asking for both costs one run).
+     */
+    std::function<double(std::uint32_t copies)> measuredJoules;
 };
 
 /**
@@ -92,6 +119,18 @@ class BatchCostModel
      * non-decreasing, and stay <= b * unit.
      */
     virtual std::vector<Cycle> curve(const CostModelInputs &in) const = 0;
+
+    /**
+     * The energy twin: element b-1 holds the joules a batch of b
+     * requests consumes, for b = 1..maxBatch. Must anchor at
+     * in.unitJoules, be monotone non-decreasing, and stay
+     * <= b * unitJoules. The default scales the unit energy by the
+     * marginal fraction (the "marginal" pricing), so out-of-tree
+     * models written before the energy twin keep compiling and stay
+     * sane under energy/EDP routing until they implement their own.
+     */
+    virtual std::vector<double>
+    energyCurve(const CostModelInputs &in) const;
 };
 
 /** Legacy marginal-fraction pricing ("marginal", the default). */
@@ -101,6 +140,7 @@ class MarginalCostModel : public BatchCostModel
     std::string name() const override { return "marginal"; }
     std::string priceKey(const ServeConfig &config) const override;
     std::vector<Cycle> curve(const CostModelInputs &in) const override;
+    // energyCurve: the base default *is* the marginal scaling.
 };
 
 /** Weights-resident analytic pipeline model ("analytic"). */
@@ -109,6 +149,8 @@ class AnalyticCostModel : public BatchCostModel
   public:
     std::string name() const override { return "analytic"; }
     std::vector<Cycle> curve(const CostModelInputs &in) const override;
+    std::vector<double>
+    energyCurve(const CostModelInputs &in) const override;
 };
 
 /** Real co-batched platform runs per batch size ("measured"). */
@@ -117,6 +159,8 @@ class MeasuredCostModel : public BatchCostModel
   public:
     std::string name() const override { return "measured"; }
     std::vector<Cycle> curve(const CostModelInputs &in) const override;
+    std::vector<double>
+    energyCurve(const CostModelInputs &in) const override;
 };
 
 /**
@@ -126,6 +170,14 @@ class MeasuredCostModel : public BatchCostModel
  * every batch occupies its instance for at least one cycle.
  */
 Cycle curveAt(const std::vector<Cycle> &curve, std::size_t size);
+
+/**
+ * Energy-curve lookup: the joules of a batch of @p size requests.
+ * Sizes past the curve's end clamp to the last point; a size of 0
+ * (and an empty curve) costs nothing — energy, unlike service time,
+ * has no one-cycle floor.
+ */
+double energyCurveAt(const std::vector<double> &curve, std::size_t size);
 
 } // namespace hygcn::serve
 

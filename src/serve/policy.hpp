@@ -34,10 +34,13 @@ namespace hygcn::serve {
 /**
  * Service-cost oracle the Scheduler installs before simulation:
  * cycles(scenario, batchSize) in the cluster time base, as priced by
- * the configured BatchCostModel on the cheapest instance class.
- * Policies may consult it to size batches; routing may still land a
- * batch on a pricier class when the cheapest is busy, so the oracle
- * is the best-case estimate, not a guarantee.
+ * the configured BatchCostModel on the instance class the routing
+ * objective would pick with every class free (the cheapest class
+ * under the default "cycles" objective; the efficient class's slower
+ * curve under "energy"/"edp"). Policies may consult it to size
+ * batches; routing may still land a batch on a different class when
+ * the preferred one is busy, so the oracle is the best-case
+ * estimate, not a guarantee.
  */
 using CostOracle =
     std::function<Cycle(std::uint32_t scenario, std::size_t batchSize)>;

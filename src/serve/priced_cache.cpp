@@ -65,9 +65,12 @@ PricedScenarioCache::price(const std::string &platform,
                 api::Registry::global().makePlatform(platform)->run(
                     keyed);
             entry->value.cyclesByBatch = {run.report.cycles};
+            entry->value.joulesByBatch = {run.report.joules()};
             entry->value.clockHz = run.report.clockHz;
             entry->value.weightLoadCycles =
                 run.report.combWeightLoadCycles;
+            entry->value.weightLoadJoules =
+                run.report.weightLoadJoules();
         } catch (...) {
             entry->error = std::current_exception();
         }
@@ -110,6 +113,8 @@ PricedScenarioCache::priceCurve(const std::string &platform,
             CostModelInputs in;
             in.unitCycles = unit.unitCycles();
             in.weightLoadCycles = unit.weightLoadCycles;
+            in.unitJoules = unit.unitJoules();
+            in.weightLoadJoules = unit.weightLoadJoules;
             in.maxBatch = config.maxBatch;
             in.marginalFraction = config.batchMarginalFraction;
             in.measuredCycles = [&](std::uint32_t copies) {
@@ -117,9 +122,18 @@ PricedScenarioCache::priceCurve(const std::string &platform,
                 batched.batchCopies = copies;
                 return price(platform, batched).unitCycles();
             };
+            // Shares the memoized co-batch unit entry with
+            // measuredCycles: asking for both costs one run.
+            in.measuredJoules = [&](std::uint32_t copies) {
+                api::RunSpec batched = keyed;
+                batched.batchCopies = copies;
+                return price(platform, batched).unitJoules();
+            };
             entry->value.cyclesByBatch = model->curve(in);
+            entry->value.joulesByBatch = model->energyCurve(in);
             entry->value.clockHz = unit.clockHz;
             entry->value.weightLoadCycles = unit.weightLoadCycles;
+            entry->value.weightLoadJoules = unit.weightLoadJoules;
         } catch (...) {
             entry->error = std::current_exception();
         }

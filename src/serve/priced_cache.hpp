@@ -50,14 +50,24 @@ class PricedScenarioCache
         /** Element b-1 = service cycles of a batch of b. */
         std::vector<Cycle> cyclesByBatch;
 
+        /** Element b-1 = joules of a batch of b (the energy twin). */
+        std::vector<double> joulesByBatch;
+
         double clockHz = 1e9;
 
         /** Combination weight-load cycles of the B=1 run. */
         Cycle weightLoadCycles = 0;
 
+        /** Combination weight-load energy of the B=1 run, joules. */
+        double weightLoadJoules = 0.0;
+
         /** B=1 service cycles (the curve anchor). */
         Cycle unitCycles() const
         { return cyclesByBatch.empty() ? 0 : cyclesByBatch.front(); }
+
+        /** B=1 energy (the energy curve anchor), joules. */
+        double unitJoules() const
+        { return joulesByBatch.empty() ? 0.0 : joulesByBatch.front(); }
     };
 
     /**

@@ -1,0 +1,37 @@
+#include "serve/route_objective.hpp"
+
+namespace hygcn::serve {
+
+double
+CyclesObjective::score(Cycle service_cycles, double /*joules*/,
+                       std::size_t /*batch_size*/,
+                       double /*clock_hz*/) const
+{
+    // Cycle counts this side of 2^53 convert exactly, so the legacy
+    // integer comparison and this score agree on every candidate.
+    return static_cast<double>(service_cycles);
+}
+
+double
+EnergyObjective::score(Cycle /*service_cycles*/, double joules,
+                       std::size_t batch_size,
+                       double /*clock_hz*/) const
+{
+    // Joules per request: every candidate serves the same batch, so
+    // dividing by the size never flips an ordering — it just makes
+    // the score a per-request figure a person can read off a trace.
+    return batch_size > 0 ? joules / static_cast<double>(batch_size)
+                          : joules;
+}
+
+double
+EdpObjective::score(Cycle service_cycles, double joules,
+                    std::size_t /*batch_size*/, double clock_hz) const
+{
+    const double seconds =
+        clock_hz > 0.0 ? static_cast<double>(service_cycles) / clock_hz
+                       : static_cast<double>(service_cycles);
+    return joules * seconds;
+}
+
+} // namespace hygcn::serve

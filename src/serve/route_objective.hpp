@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Pluggable routing objectives. When a batch is ready and more than
+ * one instance class is free, the Scheduler scores each candidate
+ * class with the configured RouteObjective and dispatches to the
+ * lowest score (ties break on service cycles, then
+ * least-recently-freed, then lowest instance id — exactly the legacy
+ * order, so the default objective reproduces pre-objective schedules
+ * byte-for-byte). Three built-ins, selected by name through the
+ * api::Registry ("cycles", "energy", "edp"):
+ *
+ *  - CyclesObjective: the legacy routing — minimize the batch's
+ *    service cycles in the cluster time base.
+ *  - EnergyObjective: minimize the joules the batch consumes (same
+ *    joules per request, since every candidate serves the same
+ *    batch), routing to the most energy-efficient free class even
+ *    when a faster one is idle.
+ *  - EdpObjective: minimize the energy-delay product
+ *    joules(B) * seconds(B) — the classic middle ground that only
+ *    tolerates extra latency when the energy saving outweighs it.
+ *
+ * This is the serving-tier face of the paper's energy results
+ * (fig11/fig12, table 7): a heterogeneous cluster can trade a fast
+ * expensive class against a slow efficient one.
+ */
+
+#ifndef HYGCN_SERVE_ROUTE_OBJECTIVE_HPP
+#define HYGCN_SERVE_ROUTE_OBJECTIVE_HPP
+
+#include <cstddef>
+#include <string>
+
+#include "sim/types.hpp"
+
+namespace hygcn::serve {
+
+/**
+ * Routing scorer of the serving cluster. Stateless: score() maps one
+ * candidate placement — the batch's priced service time and energy
+ * on one instance class — to a comparable figure of merit (lower is
+ * better). Cycles are in the cluster time base; @p clock_hz converts
+ * them to seconds for objectives that mix time with energy.
+ */
+class RouteObjective
+{
+  public:
+    virtual ~RouteObjective() = default;
+
+    /** Registry key this objective answers to. */
+    virtual std::string name() const = 0;
+
+    /** Figure of merit of serving the batch on the candidate class;
+     *  lower wins the dispatch. */
+    virtual double score(Cycle service_cycles, double joules,
+                         std::size_t batch_size,
+                         double clock_hz) const = 0;
+};
+
+/** Legacy cheapest-cycles routing ("cycles", the default). */
+class CyclesObjective : public RouteObjective
+{
+  public:
+    std::string name() const override { return "cycles"; }
+    double score(Cycle service_cycles, double joules,
+                 std::size_t batch_size, double clock_hz) const override;
+};
+
+/** Joules-per-request routing ("energy"). */
+class EnergyObjective : public RouteObjective
+{
+  public:
+    std::string name() const override { return "energy"; }
+    double score(Cycle service_cycles, double joules,
+                 std::size_t batch_size, double clock_hz) const override;
+};
+
+/** Energy-delay-product routing ("edp"). */
+class EdpObjective : public RouteObjective
+{
+  public:
+    std::string name() const override { return "edp"; }
+    double score(Cycle service_cycles, double joules,
+                 std::size_t batch_size, double clock_hz) const override;
+};
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_ROUTE_OBJECTIVE_HPP

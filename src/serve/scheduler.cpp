@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <map>
 #include <stdexcept>
 
 #include "api/registry.hpp"
 #include "serve/cost_model.hpp"
 #include "serve/priced_cache.hpp"
+#include "serve/route_objective.hpp"
 
 namespace hygcn::serve {
 
@@ -100,9 +102,11 @@ Scheduler::run() const
     // the cached curve is exactly the time any instance of the class
     // spends replaying a co-batch of the scenario.
     CostCurves curves(classes.size());
+    EnergyCurves energy(classes.size());
     std::vector<std::vector<double>> clock(classes.size());
     for (std::size_t c = 0; c < classes.size(); ++c) {
         curves[c].reserve(config_.scenarios.size());
+        energy[c].reserve(config_.scenarios.size());
         clock[c].reserve(config_.scenarios.size());
         for (const ServeScenario &scenario : config_.scenarios) {
             const PricedScenarioCache::Priced priced =
@@ -110,11 +114,12 @@ Scheduler::run() const
                     classes[c].platform, classSpec(classes[c], scenario),
                     config_);
             curves[c].push_back(priced.cyclesByBatch);
+            energy[c].push_back(priced.joulesByBatch);
             clock[c].push_back(priced.clockHz);
         }
     }
     return simulate(classes, normalizeClocks(std::move(curves), clock),
-                    clock[0].back());
+                    energy, clock[0].back());
 }
 
 ServeResult
@@ -129,8 +134,10 @@ Scheduler::run(const api::Platform &platform) const
         api::Registry::global().makeCostModel(config_.costModel);
 
     CostCurves curves(1);
+    EnergyCurves energy(1);
     std::vector<std::vector<double>> clock(1);
     curves[0].reserve(config_.scenarios.size());
+    energy[0].reserve(config_.scenarios.size());
     clock[0].reserve(config_.scenarios.size());
     for (const ServeScenario &scenario : config_.scenarios) {
         api::RunSpec spec = scenario.spec;
@@ -139,28 +146,48 @@ Scheduler::run(const api::Platform &platform) const
         CostModelInputs in;
         in.unitCycles = run.report.cycles;
         in.weightLoadCycles = run.report.combWeightLoadCycles;
+        in.unitJoules = run.report.joules();
+        in.weightLoadJoules = run.report.weightLoadJoules();
         in.maxBatch = config_.maxBatch;
         in.marginalFraction = config_.batchMarginalFraction;
+        // One co-batch run serves both curves (the registry path gets
+        // the same sharing from the PricedScenarioCache).
+        std::map<std::uint32_t, SimReport> co_batch;
+        auto measure = [&](std::uint32_t copies) -> const SimReport & {
+            auto it = co_batch.find(copies);
+            if (it == co_batch.end()) {
+                api::RunSpec batched = spec;
+                batched.batchCopies = copies;
+                it = co_batch
+                         .emplace(copies, platform.run(batched).report)
+                         .first;
+            }
+            return it->second;
+        };
         in.measuredCycles = [&](std::uint32_t copies) {
-            api::RunSpec batched = spec;
-            batched.batchCopies = copies;
-            return platform.run(batched).report.cycles;
+            return measure(copies).cycles;
+        };
+        in.measuredJoules = [&](std::uint32_t copies) {
+            return measure(copies).joules();
         };
         curves[0].push_back(model->curve(in));
+        energy[0].push_back(model->energyCurve(in));
         clock[0].push_back(run.report.clockHz);
     }
     return simulate(resolveClasses(),
-                    normalizeClocks(std::move(curves), clock),
+                    normalizeClocks(std::move(curves), clock), energy,
                     clock[0].back());
 }
 
 ServeResult
 Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
-                    const CostCurves &curves, double clock_hz) const
+                    const CostCurves &curves, const EnergyCurves &energy,
+                    double clock_hz) const
 {
     ServeResult result;
     result.config = config_;
     result.cyclesByBatchByClass = curves;
+    result.joulesByBatchByClass = energy;
     result.unitCyclesByClass.resize(curves.size());
     for (std::size_t c = 0; c < curves.size(); ++c) {
         result.unitCyclesByClass[c].reserve(curves[c].size());
@@ -176,15 +203,35 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
 
     const std::unique_ptr<SchedulerPolicy> policy =
         api::Registry::global().makePolicy(config_.policy, config_);
+    const std::unique_ptr<RouteObjective> objective =
+        api::Registry::global().makeObjective(config_.routeObjective);
 
-    // The policy's view of batch cost: the cheapest class's curve —
-    // the same best case routing aims for.
-    policy->bindCostOracle([&curves](std::uint32_t scenario,
-                                     std::size_t batch) {
-        Cycle best = kNeverCycle;
-        for (const auto &klass : curves)
-            best = std::min(best, curveAt(klass[scenario], batch));
-        return best;
+    // The policy's view of batch cost: the service cycles of the
+    // class the configured objective would pick with every instance
+    // free — the same best case routing aims for. Under "cycles"
+    // that is the cheapest curve (the legacy oracle, byte-identical);
+    // under "energy"/"edp" it is the efficient class's (slower)
+    // curve, so deadline-aware batch sizing budgets against where
+    // the batch will actually land instead of a class routing would
+    // never choose.
+    const RouteObjective *scorer = objective.get();
+    policy->bindCostOracle([&curves, &energy, scorer, clock_hz](
+                               std::uint32_t scenario,
+                               std::size_t batch) {
+        Cycle best_cycles = kNeverCycle;
+        double best_score = 0.0;
+        for (std::size_t c = 0; c < curves.size(); ++c) {
+            const Cycle cyc = curveAt(curves[c][scenario], batch);
+            const double score = scorer->score(
+                cyc, energyCurveAt(energy[c][scenario], batch), batch,
+                clock_hz);
+            if (best_cycles == kNeverCycle || score < best_score ||
+                (score == best_score && cyc < best_cycles)) {
+                best_cycles = cyc;
+                best_score = score;
+            }
+        }
+        return best_cycles;
     });
 
     const std::uint32_t total_instances = config_.totalInstances();
@@ -215,10 +262,8 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
 
         // Dispatch while a batch is formable and an instance is
         // free. The policy picks the batch; routing then picks,
-        // among free instances, the class that prices the batch —
-        // at its actual size — cheapest (ties to
-        // least-recently-freed, then lowest id — exactly the
-        // original order for homogeneous clusters).
+        // among free instances, the class the configured objective
+        // scores best at the batch's actual size.
         for (;;) {
             if (!policy->ready(now, drain))
                 break;
@@ -232,6 +277,11 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                 policy->pop(now, drain);
             const std::uint32_t scenario = members.front().scenario;
 
+            // Among free instances, the configured objective scores
+            // each candidate class on the batch's priced service
+            // cycles and joules; ties break on service cycles, then
+            // least-recently-freed, then lowest id — under the
+            // default "cycles" objective exactly the legacy order.
             std::size_t inst = free_at.size();
             for (std::size_t i = 0; i < free_at.size(); ++i) {
                 if (free_at[i] > now)
@@ -244,8 +294,20 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                     curves[class_of[i]][scenario], members.size());
                 const Cycle best = curveAt(
                     curves[class_of[inst]][scenario], members.size());
-                if (cost < best ||
-                    (cost == best && free_at[i] < free_at[inst]))
+                const double cost_score = objective->score(
+                    cost,
+                    energyCurveAt(energy[class_of[i]][scenario],
+                                  members.size()),
+                    members.size(), clock_hz);
+                const double best_score = objective->score(
+                    best,
+                    energyCurveAt(energy[class_of[inst]][scenario],
+                                  members.size()),
+                    members.size(), clock_hz);
+                if (cost_score < best_score ||
+                    (cost_score == best_score &&
+                     (cost < best ||
+                      (cost == best && free_at[i] < free_at[inst]))))
                     inst = i;
             }
 
@@ -259,6 +321,8 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             batch.instance = static_cast<std::uint32_t>(inst);
             batch.dispatch = now;
             batch.completion = now + service;
+            batch.joules = energyCurveAt(
+                energy[class_of[inst]][scenario], members.size());
             for (const ServeRequest &member : members) {
                 RequestRecord &record = result.requests[member.id];
                 record.id = member.id;

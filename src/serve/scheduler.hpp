@@ -8,8 +8,11 @@
  * from per-(class, scenario) cost curves cycles(B) priced by the
  * configured BatchCostModel (serve/cost_model.hpp) over one
  * deterministic Platform run each — shared process-wide through the
- * PricedScenarioCache. Batches route to the instance class pricing
- * their scenario cheapest at the batch's actual size.
+ * PricedScenarioCache. Batches route to the instance class scoring
+ * best under the configured RouteObjective ("cycles" / "energy" /
+ * "edp", serve/route_objective.hpp) at the batch's actual size,
+ * consulting the joules(B) energy twin each cost model prices next
+ * to cycles(B).
  */
 
 #ifndef HYGCN_SERVE_SCHEDULER_HPP
@@ -26,6 +29,9 @@ namespace hygcn::serve {
 
 /** Cost curves indexed [class][scenario][batch-1]. */
 using CostCurves = std::vector<std::vector<std::vector<Cycle>>>;
+
+/** Energy curves (joules) indexed [class][scenario][batch-1]. */
+using EnergyCurves = std::vector<std::vector<std::vector<double>>>;
 
 /** Complete, reproducible outcome of one serving simulation. */
 struct ServeResult
@@ -62,6 +68,13 @@ struct ServeResult
      * unitCyclesByClass[c][s].
      */
     CostCurves cyclesByBatchByClass;
+
+    /**
+     * The energy twins per [class][scenario][batch-1], in joules:
+     * what energy/EDP routing scored and what the per-batch joules
+     * accounting charged. Clock-independent, so never normalized.
+     */
+    EnergyCurves joulesByBatchByClass;
 
     /** Cluster clock (the first class's), for cycles -> seconds. */
     double clockHz = 1e9;
@@ -117,7 +130,8 @@ class Scheduler
     /** Event loop over a priced cluster. */
     ServeResult
     simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
-             const CostCurves &curves, double clock_hz) const;
+             const CostCurves &curves, const EnergyCurves &energy,
+             double clock_hz) const;
 
     ServeConfig config_;
 };

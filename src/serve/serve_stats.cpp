@@ -56,11 +56,21 @@ computeServeStats(const std::vector<RequestRecord> &requests,
     // Service consumption charges each batch's cycles evenly across
     // its members, so the shares are policy-agnostic and sum to 1.
     std::vector<double> batch_member_cost(batches.size(), 0.0);
-    for (const BatchRecord &batch : batches)
-        if (!batch.requestIds.empty())
+    std::vector<double> batch_member_joules(batches.size(), 0.0);
+    for (const BatchRecord &batch : batches) {
+        stats.totalJoules += batch.joules;
+        if (!batch.requestIds.empty()) {
             batch_member_cost[batch.id] =
                 static_cast<double>(batch.serviceCycles()) /
                 static_cast<double>(batch.requestIds.size());
+            batch_member_joules[batch.id] =
+                batch.joules /
+                static_cast<double>(batch.requestIds.size());
+        }
+    }
+    if (!requests.empty())
+        stats.meanJoulesPerRequest =
+            stats.totalJoules / static_cast<double>(requests.size());
 
     stats.tenantStats.resize(tenants.size());
     std::vector<std::vector<double>> tenant_latencies(tenants.size());
@@ -83,6 +93,8 @@ computeServeStats(const std::vector<RequestRecord> &requests,
                                 : 0.0;
         tenant_cycles[r.tenant] += cost;
         total_cycles += cost;
+        if (r.batch < batch_member_joules.size())
+            ts.joules += batch_member_joules[r.batch];
     }
     for (std::size_t t = 0; t < tenants.size(); ++t) {
         TenantStats &ts = stats.tenantStats[t];
@@ -106,6 +118,13 @@ computeServeStats(const std::vector<RequestRecord> &requests,
         cs.batches += inst.batches;
         cs.requests += inst.requests;
         cs.busyCycles += inst.busyCycles;
+    }
+    for (const BatchRecord &batch : batches) {
+        if (batch.instance >= instances.size())
+            continue;
+        const std::uint32_t cls = instances[batch.instance].classIndex;
+        if (cls < stats.classStats.size())
+            stats.classStats[cls].joules += batch.joules;
     }
     for (ClassStats &cs : stats.classStats)
         if (cs.instances > 0 && makespan > 0)

@@ -65,6 +65,10 @@ struct BatchRecord
     /** Member requests, in queue order. */
     std::vector<std::uint64_t> requestIds;
 
+    /** Energy the serving instance spent on the batch, joules (from
+     *  the priced joules(B) curve of the routed class). */
+    double joules = 0.0;
+
     Cycle serviceCycles() const { return completion - dispatch; }
 };
 
@@ -102,6 +106,10 @@ struct TenantStats
      * cycles split evenly across its members.
      */
     double servedShare = 0.0;
+
+    /** Energy consumed serving the tenant, joules (each batch's
+     *  joules split evenly across its members). */
+    double joules = 0.0;
 };
 
 /** Per-instance-class serving outcome (heterogeneous clusters). */
@@ -117,6 +125,9 @@ struct ClassStats
 
     /** busyCycles / (instances * makespan). */
     double utilization = 0.0;
+
+    /** Energy the class's instances spent serving batches, joules. */
+    double joules = 0.0;
 };
 
 /** Aggregate serving metrics over one simulated run. */
@@ -141,6 +152,12 @@ struct ServeStats
 
     /** Per-instance busy fraction, indexed by instance id. */
     std::vector<double> instanceUtilization;
+
+    /** Total serving energy across all dispatched batches, joules. */
+    double totalJoules = 0.0;
+
+    /** totalJoules / requests (0 for an empty run). */
+    double meanJoulesPerRequest = 0.0;
 
     /**
      * Deadline misses avoided by deadline-aware batch sizing: fills

@@ -98,6 +98,9 @@ ServeConfig::validate() const
             "serve: batchMarginalFraction must be >= 0");
     if (costModel.empty())
         throw std::invalid_argument("serve: costModel name is empty");
+    if (routeObjective.empty())
+        throw std::invalid_argument(
+            "serve: routeObjective name is empty");
 }
 
 std::vector<TenantMix>

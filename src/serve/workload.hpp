@@ -184,14 +184,26 @@ struct ServeConfig
     std::string costModel = "marginal";
 
     /**
+     * Registry key of the routing objective that picks, among free
+     * instance classes, where a ready batch dispatches: "cycles"
+     * (the default — legacy cheapest-service-time routing,
+     * byte-identical schedules), "energy" (fewest joules per
+     * request), or "edp" (lowest energy-delay product). Consults the
+     * joules(B) energy twin the cost model prices next to cycles(B);
+     * under "cycles" that twin is never read.
+     */
+    std::string routeObjective = "cycles";
+
+    /**
      * Deadline-aware batch sizing for the "edf" policy: stop filling
      * a batch at the size where the cost curve says one more member
      * would push the tightest queued deadline past its SLO.
-     * ServeStats::deadlineCapsAvoided counts the saves. Off by
-     * default (batch fills are then curve-blind, the legacy
-     * behavior); other policies ignore the flag.
+     * ServeStats::deadlineCapsAvoided counts the saves. On by
+     * default since the curve-blind legacy fills only ever traded
+     * deadline hits for nothing; switch off to reproduce pre-flip
+     * EDF schedules. Other policies ignore the flag.
      */
-    bool deadlineAwareBatching = false;
+    bool deadlineAwareBatching = true;
 
     /** Instances across the cluster (classes, or the shorthand). */
     std::uint32_t totalInstances() const

@@ -101,6 +101,9 @@ toJson(const SimReport &report)
     if (report.combWeightLoadCycles != 0)
         out += "\"comb_weight_load_cycles\":" +
                std::to_string(report.combWeightLoadCycles) + ",";
+    if (report.combWeightLoadEnergyPj != 0.0)
+        out += "\"comb_weight_load_energy_pj\":" +
+               number(report.combWeightLoadEnergyPj) + ",";
     out += "\"seconds\":" + number(report.seconds()) + ",";
     out += "\"joules\":" + number(report.joules()) + ",";
     out += "\"dram_bytes\":" + std::to_string(report.dramBytes()) + ",";
@@ -292,8 +295,13 @@ toJson(const serve::ServeConfig &config)
     if (config.costModel != "marginal")
         out += ",\"cost_model\":\"" + jsonEscape(config.costModel) +
                "\"";
-    if (config.deadlineAwareBatching)
-        out += ",\"deadline_aware_batching\":true";
+    if (config.routeObjective != "cycles")
+        out += ",\"route_objective\":\"" +
+               jsonEscape(config.routeObjective) + "\"";
+    // Off-default means *false* since the default-on flip; legacy
+    // opt-out configs are the ones that need to say so.
+    if (!config.deadlineAwareBatching)
+        out += ",\"deadline_aware_batching\":false";
     out += "}";
     return out;
 }
@@ -302,6 +310,10 @@ std::string
 toJson(const serve::ServeResult &result, bool per_request)
 {
     const serve::ServeStats &stats = result.stats;
+    // Energy fields emit only off the default routing objective:
+    // under "cycles" no dispatch ever consulted them, and the
+    // checked-in goldens must stay byte-identical.
+    const bool emit_energy = result.config.routeObjective != "cycles";
     std::string out = "{";
     out += "\"config\":" + toJson(result.config) + ",";
 
@@ -328,7 +340,18 @@ toJson(const serve::ServeResult &result, bool per_request)
         out += number(stats.instanceUtilization[i]);
     }
     out += "]";
-    if (result.config.deadlineAwareBatching)
+    if (emit_energy) {
+        out += ",\"total_joules\":" + number(stats.totalJoules);
+        out += ",\"mean_joules_per_request\":" +
+               number(stats.meanJoulesPerRequest);
+    }
+    // The flag is default-on, and the fifo goldens must not grow
+    // the (always-zero) counter — so the counter emits for policies
+    // that size batches (built-in: "edf"), or whenever a custom
+    // policy actually reports caps.
+    if (result.config.deadlineAwareBatching &&
+        (result.config.policy == "edf" ||
+         stats.deadlineCapsAvoided != 0))
         out += ",\"deadline_caps_avoided\":" +
                std::to_string(stats.deadlineCapsAvoided);
     // Breakdowns emit only when the config declares the dimension
@@ -348,7 +371,11 @@ toJson(const serve::ServeResult &result, bool per_request)
                    number(t.p99LatencyCycles) +
                    ",\"slo_violations\":" +
                    std::to_string(t.sloViolations) +
-                   ",\"served_share\":" + number(t.servedShare) + "}";
+                   ",\"served_share\":" + number(t.servedShare) +
+                   (emit_energy
+                        ? ",\"joules\":" + number(t.joules)
+                        : std::string()) +
+                   "}";
         }
         out += "]";
     }
@@ -363,7 +390,11 @@ toJson(const serve::ServeResult &result, bool per_request)
                    ",\"batches\":" + std::to_string(c.batches) +
                    ",\"requests\":" + std::to_string(c.requests) +
                    ",\"busy_cycles\":" + std::to_string(c.busyCycles) +
-                   ",\"utilization\":" + number(c.utilization) + "}";
+                   ",\"utilization\":" + number(c.utilization) +
+                   (emit_energy
+                        ? ",\"joules\":" + number(c.joules)
+                        : std::string()) +
+                   "}";
         }
         out += "]";
     }
@@ -419,6 +450,31 @@ toJson(const serve::ServeResult &result, bool per_request)
         }
         out += "],";
     }
+    // The energy twins the routing objective scored, per
+    // [class][scenario][batch-1], in joules.
+    if (emit_energy) {
+        out += "\"joules_by_batch\":[";
+        for (std::size_t c = 0; c < result.joulesByBatchByClass.size();
+             ++c) {
+            if (c)
+                out += ",";
+            out += "[";
+            const auto &klass = result.joulesByBatchByClass[c];
+            for (std::size_t s = 0; s < klass.size(); ++s) {
+                if (s)
+                    out += ",";
+                out += "[";
+                for (std::size_t b = 0; b < klass[s].size(); ++b) {
+                    if (b)
+                        out += ",";
+                    out += number(klass[s][b]);
+                }
+                out += "]";
+            }
+            out += "]";
+        }
+        out += "],";
+    }
     out += "\"clock_hz\":" + number(result.clockHz) + ",";
     out += "\"makespan_cycles\":" + std::to_string(result.makespan);
 
@@ -450,6 +506,9 @@ toJson(const serve::ServeResult &result, bool per_request)
                    ",\"instance\":" + std::to_string(b.instance) +
                    ",\"dispatch\":" + std::to_string(b.dispatch) +
                    ",\"completion\":" + std::to_string(b.completion) +
+                   (emit_energy
+                        ? ",\"joules\":" + number(b.joules)
+                        : std::string()) +
                    ",\"request_ids\":[";
             for (std::size_t j = 0; j < b.requestIds.size(); ++j) {
                 if (j)

@@ -40,6 +40,15 @@ struct SimReport
      */
     Cycle combWeightLoadCycles = 0;
 
+    /**
+     * Energy (picojoules) of the same batch-invariant phase: the
+     * weight DRAM fetches plus the Weight Buffer fills they land in.
+     * A weights-resident pipeline serving B co-batched graphs pays
+     * it once; the remaining energy - combWeightLoadEnergyPj is
+     * per-graph work. 0 for platforms without the phase.
+     */
+    PicoJoule combWeightLoadEnergyPj = 0.0;
+
     /** Event counters (DRAM traffic, ops, row hits, ...). */
     StatGroup stats;
 
@@ -52,6 +61,10 @@ struct SimReport
 
     /** Total energy in joules. */
     double joules() const { return energy.total() * 1e-12; }
+
+    /** Batch-invariant weight-load energy in joules. */
+    double weightLoadJoules() const
+    { return combWeightLoadEnergyPj * 1e-12; }
 
     /** Total off-chip traffic in bytes (reads + writes). */
     std::uint64_t dramBytes() const

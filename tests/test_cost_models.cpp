@@ -325,7 +325,8 @@ TEST(EdfDeadlineAwareBatching, NeverServesTheSloTenantWorse)
 {
     // Same contended stream, EDF with and without deadline-aware
     // sizing: capping exists to protect tight deadlines, so the SLO
-    // tenant must not miss more often with it on.
+    // tenant must not miss more often with it on (the property that
+    // justified flipping the flag default-on).
     ServeConfig config = aggConfig();
     config.policy = "edf";
     config.instances = 1;
@@ -334,6 +335,7 @@ TEST(EdfDeadlineAwareBatching, NeverServesTheSloTenantWorse)
     config.tenants = {TenantMix{"interactive", 1.0, {}, 150000, 0.0},
                       TenantMix{"analytics", 1.0, {}, 0, 0.0}};
 
+    config.deadlineAwareBatching = false; // the legacy opt-out
     const ServeResult plain = runServe(config);
     config.deadlineAwareBatching = true;
     const ServeResult capped = runServe(config);
@@ -341,11 +343,15 @@ TEST(EdfDeadlineAwareBatching, NeverServesTheSloTenantWorse)
     EXPECT_LE(capped.stats.tenantStats[0].sloViolations,
               plain.stats.tenantStats[0].sloViolations);
     EXPECT_EQ(plain.stats.deadlineCapsAvoided, 0u);
-    // The flag is echoed (and the caps counted) only when set.
+    // Default-on: only the opt-out is echoed, and the caps counter
+    // rides only deadline-aware EDF runs.
     const std::string json = toJson(capped, false);
-    EXPECT_NE(json.find("\"deadline_aware_batching\":true"),
+    EXPECT_EQ(json.find("\"deadline_aware_batching\""),
               std::string::npos);
     EXPECT_NE(json.find("\"deadline_caps_avoided\""), std::string::npos);
+    EXPECT_NE(toJson(plain, false).find(
+                  "\"deadline_aware_batching\":false"),
+              std::string::npos);
     EXPECT_EQ(toJson(plain, false).find("\"deadline_caps_avoided\""),
               std::string::npos);
 }

@@ -3,14 +3,31 @@
 # intentional behavior change. Run from the repo root with the build
 # directory as the optional first argument:
 #
-#   tests/update_goldens.sh [build-dir]
+#   tests/update_goldens.sh [--bench] [build-dir]
 #
-# Goldens are byte-exact, so regenerate them on the same
-# toolchain/platform class the CI comparison runs on; review the diff
-# before committing — every changed byte is a behavior change.
+# With --bench, also regenerate the CI bench baselines under
+# bench/baselines/ (BENCH_serve.json, BENCH_fig10.json,
+# BENCH_fig11.json) from the same build, so golden and baseline
+# refreshes land in one reviewed diff.
+#
+# Goldens and baselines are byte-exact, so regenerate them on the
+# same toolchain/platform class the CI comparison runs on; review the
+# diff before committing — every changed byte is a behavior change.
 set -eu
 
-BUILD=${1:-build}
+BENCH=0
+BUILD=build
+for arg in "$@"; do
+    case "$arg" in
+      --bench) BENCH=1 ;;
+      -*)
+        echo "error: unknown flag $arg (usage:" \
+             "tests/update_goldens.sh [--bench] [build-dir])" >&2
+        exit 1
+        ;;
+      *) BUILD=$arg ;;
+    esac
+done
 BIN="$BUILD/tests/test_goldens"
 
 if [ ! -x "$BIN" ]; then
@@ -19,3 +36,16 @@ if [ ! -x "$BIN" ]; then
 fi
 
 HYGCN_UPDATE_GOLDENS=1 "$BIN"
+
+if [ "$BENCH" = 1 ]; then
+    for bench in serve_latency fig10_speedup fig11_energy; do
+        if [ ! -x "$BUILD/bench/$bench" ]; then
+            echo "error: $BUILD/bench/$bench not built; run:" \
+                 "cmake --build $BUILD -j --target $bench" >&2
+            exit 1
+        fi
+    done
+    "$BUILD/bench/serve_latency" --json bench/baselines/BENCH_serve.json
+    "$BUILD/bench/fig10_speedup" --json bench/baselines/BENCH_fig10.json
+    "$BUILD/bench/fig11_energy" --json bench/baselines/BENCH_fig11.json
+fi
