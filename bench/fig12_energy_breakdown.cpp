@@ -4,21 +4,52 @@
  * Aggregation Engine, Combination Engine, and Coordinator. Paper:
  * the Combination Engine dominates (MVM MACs), with the Aggregation
  * Engine share growing on high-degree graphs (CL, RD).
+ *
+ * With --json PATH the harness also writes the machine-readable
+ * BENCH_fig12.json consumed by the CI bench-regression gate. The
+ * gate watches the per-component *shares* (percent of on-chip
+ * energy), not absolute joules: shares are invariant to uniform cost
+ * retuning, so a drift means the breakdown itself moved — one engine
+ * got relatively hungrier. The three shares sum to 100, so growth
+ * anywhere is visible without a "higher is better" direction.
  */
 
 #include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
 
 #include "bench/common.hpp"
 
 using namespace hygcn;
 using namespace hygcn::bench;
 
-int
-main()
+namespace {
+
+struct BreakdownPoint
 {
+    std::string label;
+    double aggPct = 0.0;
+    double combPct = 0.0;
+    double coordPct = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    std::string json_path;
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
     banner("Figure 12", "HyGCN energy breakdown (%, on-chip)");
 
     header("model/dataset", {"AggE %", "CombE %", "Coord %"});
+    std::vector<BreakdownPoint> points;
     for (ModelId m : allModels()) {
         const auto dss = m == ModelId::DFP ? diffpoolDatasets()
                                            : figureDatasets();
@@ -28,10 +59,40 @@ main()
             const double comb = r.energy.component("comb_engine");
             const double coord = r.energy.component("coordinator");
             const double total = agg + comb + coord;
-            row(modelAbbrev(m) + "/" + datasetAbbrev(ds),
-                {agg / total * 100.0, comb / total * 100.0,
-                 coord / total * 100.0});
+            BreakdownPoint point;
+            point.label = modelAbbrev(m) + "/" + datasetAbbrev(ds);
+            point.aggPct = agg / total * 100.0;
+            point.combPct = comb / total * 100.0;
+            point.coordPct = coord / total * 100.0;
+            row(point.label,
+                {point.aggPct, point.combPct, point.coordPct});
+            points.push_back(std::move(point));
         }
+    }
+
+    if (!json_path.empty()) {
+        std::string out =
+            "{\"bench\":\"fig12_energy_breakdown\",\"hygcn\":[";
+        for (std::size_t i = 0; i < points.size(); ++i) {
+            const BreakdownPoint &point = points[i];
+            if (i)
+                out += ",";
+            out += "{\"case\":\"" + point.label +
+                   "\",\"agg_pct\":" + jsonNumber(point.aggPct) +
+                   ",\"comb_pct\":" + jsonNumber(point.combPct) +
+                   ",\"coord_pct\":" + jsonNumber(point.coordPct) + "}";
+        }
+        out += "]}";
+        std::ofstream file(json_path,
+                           std::ios::binary | std::ios::trunc);
+        if (!file.good()) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         json_path.c_str());
+            return 1;
+        }
+        file << out << "\n";
+        std::printf("wrote %s (%zu bytes)\n", json_path.c_str(),
+                    out.size() + 1);
     }
     return 0;
 }

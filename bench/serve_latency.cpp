@@ -16,6 +16,13 @@
  * BENCH_serve.json consumed by the CI bench-regression gate; latency
  * metrics are in cycles, which are deterministic in the config and
  * therefore portable across CI hosts.
+ *
+ * With --sweep-json PATH the harness additionally runs the
+ * "serve-flashcrowd" preset across three seed replicates under fifo
+ * and edf, and writes the seed-aggregated error-bar JSON
+ * (ServeSweep::runAggregated()) — the artifact CI uploads so tail
+ * metrics under an adversarial arrival process come with stddev
+ * bars, not single-seed point estimates.
  */
 
 #include <algorithm>
@@ -26,8 +33,10 @@
 #include <vector>
 
 #include "api/serve_session.hpp"
+#include "api/serve_sweep.hpp"
 #include "bench/common.hpp"
 #include "serve/scheduler.hpp"
+#include "sim/json.hpp"
 
 using namespace hygcn;
 using namespace hygcn::bench;
@@ -35,7 +44,7 @@ using namespace hygcn::bench;
 namespace {
 
 serve::ServeConfig
-workload(std::uint32_t instances)
+scalingWorkload(std::uint32_t instances)
 {
     // The stream is generated from (seed, arrival process, mix)
     // only, so every cluster size replays identical traffic.
@@ -59,7 +68,7 @@ workload(std::uint32_t instances)
 serve::ServeConfig
 policyWorkload(const std::string &policy)
 {
-    serve::ServeConfig config = workload(4);
+    serve::ServeConfig config = scalingWorkload(4);
     config.policy = policy;
     config.tenants = {
         serve::TenantMix{"interactive", 0.7, {3.0, 1.0}, 2000000, 0.0},
@@ -79,9 +88,13 @@ int
 main(int argc, char **argv)
 {
     std::string json_path;
+    std::string sweep_json_path;
     for (int i = 1; i < argc; ++i) {
         if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
             json_path = argv[++i];
+        else if (std::strcmp(argv[i], "--sweep-json") == 0 &&
+                 i + 1 < argc)
+            sweep_json_path = argv[++i];
     }
 
     banner("serve_latency",
@@ -96,7 +109,7 @@ main(int argc, char **argv)
     std::vector<SeriesPoint> series;
     for (std::uint32_t instances = 1; instances <= 8; instances *= 2) {
         const serve::ServeResult result =
-            serve::runServe(workload(instances));
+            serve::runServe(scalingWorkload(instances));
         const serve::ServeStats &stats = result.stats;
         double util_sum = 0.0, util_min = 1.0;
         for (double u : stats.instanceUtilization) {
@@ -191,6 +204,40 @@ main(int argc, char **argv)
         }
         file << out << "\n";
         std::printf("wrote %s (%zu bytes)\n", json_path.c_str(),
+                    out.size() + 1);
+    }
+
+    if (!sweep_json_path.empty()) {
+        // Flash-crowd preset, three seeds, fifo vs edf: small enough
+        // for CI, adversarial enough that the error bars say
+        // something about tail stability.
+        const std::vector<api::ServeAggregate> aggregates =
+            api::ServeSweep::workload("serve-flashcrowd")
+                .policies({"fifo", "edf"})
+                .seeds({1, 2, 3})
+                .runAggregated();
+        std::printf("\nflash-crowd sweep: %zu points x %zu seeds\n",
+                    aggregates.size(),
+                    aggregates.empty() ? 0
+                                       : aggregates.front().seeds.size());
+        for (const api::ServeAggregate &agg : aggregates)
+            std::printf("  %-12s p99 %.0f +/- %.0f kcyc, slo miss "
+                        "%.1f +/- %.1f\n",
+                        agg.config.policy.c_str(),
+                        agg.p99LatencyCycles.mean / 1e3,
+                        agg.p99LatencyCycles.stddev / 1e3,
+                        agg.sloViolations.mean,
+                        agg.sloViolations.stddev);
+        std::ofstream file(sweep_json_path,
+                           std::ios::binary | std::ios::trunc);
+        if (!file.good()) {
+            std::fprintf(stderr, "error: cannot write %s\n",
+                         sweep_json_path.c_str());
+            return 1;
+        }
+        const std::string out = toJson(aggregates);
+        file << out << "\n";
+        std::printf("wrote %s (%zu bytes)\n", sweep_json_path.c_str(),
                     out.size() + 1);
     }
     return 0;

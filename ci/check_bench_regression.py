@@ -13,6 +13,10 @@ The bench schema is selected by the documents' "bench" field:
 - fig11_energy: compares HyGCN's normalized energy (% of PyG-CPU and
   % of PyG-GPU) of every hygcn case (lower is better — a growing
   percentage is an energy-efficiency drop).
+- fig12_energy_breakdown: compares the per-component on-chip energy
+  shares (agg/comb/coord % of their sum) of every hygcn case. The
+  shares sum to 100, so any shift in the breakdown grows at least
+  one gated share.
 
 All metrics derive from simulated cycles and the deterministic
 energy model, both fixed by the config, so any drift is a real
@@ -47,6 +51,15 @@ SCHEMAS = {
         ("hygcn", "case", "vs_cpu_pct", "lower"),
         # vs_gpu_pct is absent from OoM cells, like fig10's vs_gpu.
         ("hygcn", "case", "vs_gpu_pct", "lower"),
+    ),
+    "fig12_energy_breakdown": (
+        # On-chip energy *shares* (percent of agg+comb+coord). They
+        # sum to 100, so a shift in the breakdown grows at least one
+        # share; gating all three "lower" catches any redistribution
+        # while staying invariant to uniform energy-cost retuning.
+        ("hygcn", "case", "agg_pct", "lower"),
+        ("hygcn", "case", "comb_pct", "lower"),
+        ("hygcn", "case", "coord_pct", "lower"),
     ),
 }
 

@@ -4,15 +4,18 @@
  * against a small cluster of HyGCN instances with the ServeSession
  * fluent API, print the aggregate serving report, compare the three
  * scheduling policies, route the same traffic over a mixed
- * hygcn+pyg-cpu cluster, and emit the machine-readable JSON for one
- * of the runs.
+ * hygcn+pyg-cpu cluster, replay a recorded trace through the "trace"
+ * arrival process, and emit the machine-readable JSON for one of the
+ * runs.
  *
- * Build & run:
+ * Build & run (from the repo root, so the smoke trace resolves; an
+ * explicit trace path can be passed as argv[1]):
  *   cmake -B build && cmake --build build -j
  *   ./build/examples/serving
  */
 
 #include <cstdio>
+#include <fstream>
 
 #include "api/serve_session.hpp"
 #include "sim/json.hpp"
@@ -20,7 +23,7 @@
 using namespace hygcn;
 
 int
-main()
+main(int argc, char **argv)
 {
     // An interactive tenant dominated by small Cora inferences plus
     // an analytics tenant favoring Citeseer, served on scaled
@@ -137,6 +140,44 @@ main()
         std::printf("  %-8s %llu batches, %.3g J\n", cls.label.c_str(),
                     static_cast<unsigned long long>(cls.batches),
                     cls.joules);
+
+    // Trace replay: the "trace" arrival process replays a recorded
+    // (or hand-written) request stream against this cluster — tenant
+    // and scenario resolve by name, deadlines re-derive from the
+    // tenants' SLOs. Any run can record its own stream with
+    // .recordTrace(path) for later replay. Skipped gracefully when
+    // the trace is not where we expect it (e.g. running outside the
+    // repo root).
+    const std::string trace_path =
+        argc > 1 ? argv[1] : "examples/traces/smoke.csv";
+    if (std::ifstream(trace_path).good()) {
+        const serve::ServeResult replayed =
+            api::ServeSession()
+                .platform("hygcn")
+                .datasetScale(0.2)
+                .scenario("cora", "gcn")
+                .scenario("citeseer", "gcn")
+                .tenant("interactive", 0.8, {4.0, 1.0}, 500000)
+                .tenant("analytics", 0.2, {1.0, 3.0})
+                .requests(12) // the smoke trace's record count
+                .instances(2)
+                .maxBatch(4)
+                .batchTimeout(120000)
+                .replayTrace(trace_path)
+                .run();
+        std::printf("\nreplayed %s: %llu requests, %llu batches, "
+                    "p99 %.1f kcyc\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(
+                        replayed.stats.requests),
+                    static_cast<unsigned long long>(
+                        replayed.stats.batches),
+                    replayed.stats.p99LatencyCycles / 1e3);
+    } else {
+        std::printf("\n(trace %s not found; run from the repo root "
+                    "or pass a trace path)\n",
+                    trace_path.c_str());
+    }
 
     // Aggregate JSON of the 2-instance run; pass per_request=true to
     // toJson for the full per-request/per-batch trace instead.

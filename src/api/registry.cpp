@@ -7,6 +7,8 @@
 #include "serve/cost_model.hpp"
 #include "serve/policy.hpp"
 #include "serve/route_objective.hpp"
+#include "workload/arrival_process.hpp"
+#include "workload/trace.hpp"
 
 namespace hygcn::api {
 
@@ -83,6 +85,34 @@ Registry::Registry()
     registerObjective("edp", [] {
         return std::make_unique<serve::EdpObjective>();
     });
+
+    registerArrivalProcess(
+        "poisson", [](const serve::ServeConfig &config) {
+            return std::make_unique<workload::PoissonProcess>(config);
+        });
+    registerArrivalProcess(
+        "diurnal", [](const serve::ServeConfig &config) {
+            return std::make_unique<workload::DiurnalProcess>(config);
+        });
+    registerArrivalProcess(
+        "flash-crowd", [](const serve::ServeConfig &config) {
+            return std::make_unique<workload::FlashCrowdProcess>(
+                config);
+        });
+    registerArrivalProcess(
+        "mmpp", [](const serve::ServeConfig &config) {
+            return std::make_unique<workload::MmppProcess>(config);
+        });
+    registerArrivalProcess(
+        "heavy-tail", [](const serve::ServeConfig &config) {
+            return std::make_unique<workload::HeavyTailProcess>(
+                config);
+        });
+    registerArrivalProcess(
+        "trace", [](const serve::ServeConfig &config) {
+            return std::make_unique<workload::TraceArrivalProcess>(
+                config);
+        });
 
     for (DatasetId id : allDatasets()) {
         auto factory = [id](std::uint64_t seed, double scale) {
@@ -380,6 +410,44 @@ Registry::objectiveNames() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return keysOf(objectives_);
+}
+
+void
+Registry::registerArrivalProcess(const std::string &name,
+                                 ArrivalProcessFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    arrivalProcesses_[lower(name)] = std::move(factory);
+}
+
+std::unique_ptr<workload::ArrivalProcess>
+Registry::makeArrivalProcess(const std::string &name,
+                             const serve::ServeConfig &config) const
+{
+    ArrivalProcessFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = arrivalProcesses_.find(lower(name));
+        if (it == arrivalProcesses_.end())
+            throwUnknown("arrival process", name,
+                         keysOf(arrivalProcesses_));
+        factory = it->second;
+    }
+    return factory(config);
+}
+
+bool
+Registry::hasArrivalProcess(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return arrivalProcesses_.count(lower(name)) > 0;
+}
+
+std::vector<std::string>
+Registry::arrivalProcessNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(arrivalProcesses_);
 }
 
 } // namespace hygcn::api

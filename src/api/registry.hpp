@@ -17,9 +17,11 @@
  *
  * Serving *workloads* (named ServeConfig presets, e.g.
  * "serve-smoke") are first-class scenarios too: registerWorkload()
- * makes one runnable via ServeSession::workload(name), and serving
+ * makes one runnable via ServeSession::workload(name), serving
  * *scheduler policies* ("fifo", "edf", "fair-share") are pluggable
- * through registerPolicy()/makePolicy().
+ * through registerPolicy()/makePolicy(), and *arrival processes*
+ * ("poisson", "diurnal", "flash-crowd", "mmpp", "heavy-tail",
+ * "trace") through registerArrivalProcess()/makeArrivalProcess().
  */
 
 #ifndef HYGCN_API_REGISTRY_HPP
@@ -40,6 +42,10 @@ class BatchCostModel;
 class RouteObjective;
 class SchedulerPolicy;
 } // namespace hygcn::serve
+
+namespace hygcn::workload {
+class ArrivalProcess;
+} // namespace hygcn::workload
 
 namespace hygcn::api {
 
@@ -66,6 +72,10 @@ class Registry
     /** Builds a serving routing objective. */
     using ObjectiveFactory =
         std::function<std::unique_ptr<serve::RouteObjective>()>;
+    /** Builds an arrival process for a serving config. */
+    using ArrivalProcessFactory =
+        std::function<std::unique_ptr<workload::ArrivalProcess>(
+            const serve::ServeConfig &)>;
 
     /** Constructs a registry pre-loaded with the built-ins. */
     Registry();
@@ -139,6 +149,18 @@ class Registry
     bool hasObjective(const std::string &name) const;
     std::vector<std::string> objectiveNames() const;
 
+    // ---- serving arrival processes -----------------------------
+    void registerArrivalProcess(const std::string &name,
+                                ArrivalProcessFactory factory);
+    /** Build arrival process @p name for @p config; throws
+     *  std::out_of_range with the known keys listed if the name is
+     *  unknown. */
+    std::unique_ptr<workload::ArrivalProcess>
+    makeArrivalProcess(const std::string &name,
+                       const serve::ServeConfig &config) const;
+    bool hasArrivalProcess(const std::string &name) const;
+    std::vector<std::string> arrivalProcessNames() const;
+
   private:
     template <class Map>
     static std::vector<std::string> keysOf(const Map &map);
@@ -153,6 +175,7 @@ class Registry
     std::map<std::string, PolicyFactory> policies_;
     std::map<std::string, CostModelFactory> costModels_;
     std::map<std::string, ObjectiveFactory> objectives_;
+    std::map<std::string, ArrivalProcessFactory> arrivalProcesses_;
 };
 
 } // namespace hygcn::api

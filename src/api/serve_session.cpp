@@ -151,6 +151,35 @@ ServeSession::seed(std::uint64_t seed)
 }
 
 ServeSession &
+ServeSession::arrivalProcess(const std::string &name)
+{
+    config_.arrival.process = name;
+    return *this;
+}
+
+ServeSession &
+ServeSession::arrival(workload::ArrivalSpec spec)
+{
+    config_.arrival = std::move(spec);
+    return *this;
+}
+
+ServeSession &
+ServeSession::replayTrace(const std::string &path)
+{
+    config_.arrival.process = "trace";
+    config_.arrival.traceFile = path;
+    return *this;
+}
+
+ServeSession &
+ServeSession::recordTrace(const std::string &path)
+{
+    config_.arrival.recordPath = path;
+    return *this;
+}
+
+ServeSession &
 ServeSession::maxBatch(std::uint32_t size)
 {
     config_.maxBatch = size;

@@ -101,6 +101,22 @@ class ServeSession
     ServeSession &meanInterarrival(double cycles);
     ServeSession &seed(std::uint64_t seed);
 
+    /** Registry key of the arrival process shaping the stream
+     *  ("poisson", "diurnal", "flash-crowd", "mmpp", "heavy-tail",
+     *  "trace"); parameters adjust via arrival() or config(). */
+    ServeSession &arrivalProcess(const std::string &name);
+
+    /** Replace the whole arrival spec (process + parameters). */
+    ServeSession &arrival(workload::ArrivalSpec spec);
+
+    /** Replay a recorded trace file: selects the "trace" process
+     *  over @p path (workload/trace.hpp format). */
+    ServeSession &replayTrace(const std::string &path);
+
+    /** Record the generated stream to @p path as a replayable
+     *  trace, whatever process generates it. */
+    ServeSession &recordTrace(const std::string &path);
+
     // ---- batching ----------------------------------------------
     ServeSession &maxBatch(std::uint32_t size);
     ServeSession &batchTimeout(Cycle cycles);

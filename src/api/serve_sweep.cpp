@@ -1,11 +1,39 @@
 #include "api/serve_sweep.hpp"
 
+#include <cmath>
+#include <stdexcept>
 #include <utility>
 
 #include "api/parallel.hpp"
 #include "api/registry.hpp"
 
 namespace hygcn::api {
+
+AggregateStat
+aggregateStat(const std::vector<double> &values)
+{
+    if (values.empty())
+        throw std::invalid_argument(
+            "api: aggregateStat over no values");
+    AggregateStat stat;
+    stat.min = values.front();
+    stat.max = values.front();
+    double sum = 0.0;
+    for (double v : values) {
+        sum += v;
+        stat.min = std::min(stat.min, v);
+        stat.max = std::max(stat.max, v);
+    }
+    stat.mean = sum / static_cast<double>(values.size());
+    if (values.size() > 1) {
+        double ss = 0.0;
+        for (double v : values)
+            ss += (v - stat.mean) * (v - stat.mean);
+        stat.stddev =
+            std::sqrt(ss / static_cast<double>(values.size() - 1));
+    }
+    return stat;
+}
 
 ServeSweep::ServeSweep(serve::ServeConfig base) : base_(std::move(base))
 {
@@ -60,6 +88,20 @@ ServeSweep::arrivalRates(std::vector<double> mean_interarrival_cycles)
 }
 
 ServeSweep &
+ServeSweep::arrivalProcesses(std::vector<std::string> names)
+{
+    arrivalProcesses_ = std::move(names);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::seeds(std::vector<std::uint64_t> seeds)
+{
+    seeds_ = std::move(seeds);
+    return *this;
+}
+
+ServeSweep &
 ServeSweep::threads(unsigned count)
 {
     threads_ = count;
@@ -74,7 +116,9 @@ ServeSweep::size() const
            std::max<std::size_t>(objectives_.size(), 1) *
            std::max<std::size_t>(clusters_.size(), 1) *
            std::max<std::size_t>(maxBatches_.size(), 1) *
-           std::max<std::size_t>(arrivalRates_.size(), 1);
+           std::max<std::size_t>(arrivalRates_.size(), 1) *
+           std::max<std::size_t>(arrivalProcesses_.size(), 1) *
+           std::max<std::size_t>(seeds_.size(), 1);
 }
 
 std::vector<serve::ServeConfig>
@@ -101,6 +145,13 @@ ServeSweep::expand() const
         arrivalRates_.empty()
             ? std::vector<double>{base_.meanInterarrivalCycles}
             : arrivalRates_;
+    const std::vector<std::string> processes =
+        arrivalProcesses_.empty()
+            ? std::vector<std::string>{base_.arrival.process}
+            : arrivalProcesses_;
+    const std::vector<std::uint64_t> seeds =
+        seeds_.empty() ? std::vector<std::uint64_t>{base_.seed}
+                       : seeds_;
 
     std::vector<serve::ServeConfig> configs;
     configs.reserve(size());
@@ -109,16 +160,22 @@ ServeSweep::expand() const
             for (const std::string &objective : objectives)
                 for (const serve::ClusterSpec &cluster : clusters)
                     for (std::uint32_t max_batch : max_batches)
-                        for (double rate : rates) {
-                            serve::ServeConfig config = base_;
-                            config.policy = policy;
-                            config.costModel = cost_model;
-                            config.routeObjective = objective;
-                            config.cluster = cluster;
-                            config.maxBatch = max_batch;
-                            config.meanInterarrivalCycles = rate;
-                            configs.push_back(std::move(config));
-                        }
+                        for (double rate : rates)
+                            for (const std::string &process : processes)
+                                for (std::uint64_t seed : seeds) {
+                                    serve::ServeConfig config = base_;
+                                    config.policy = policy;
+                                    config.costModel = cost_model;
+                                    config.routeObjective = objective;
+                                    config.cluster = cluster;
+                                    config.maxBatch = max_batch;
+                                    config.meanInterarrivalCycles =
+                                        rate;
+                                    config.arrival.process = process;
+                                    config.seed = seed;
+                                    configs.push_back(
+                                        std::move(config));
+                                }
     return configs;
 }
 
@@ -131,6 +188,51 @@ ServeSweep::runAll() const
         results[i] = serve::runServe(configs[i]);
     });
     return results;
+}
+
+std::vector<ServeAggregate>
+ServeSweep::runAggregated() const
+{
+    const std::vector<serve::ServeResult> results = runAll();
+
+    // Seeds are the innermost axis, so each sweep point's replicates
+    // are consecutive chunks of `replicates` results.
+    const std::size_t replicates = std::max<std::size_t>(
+        seeds_.size(), 1);
+    std::vector<ServeAggregate> aggregates;
+    aggregates.reserve(results.size() / replicates);
+    for (std::size_t base = 0; base < results.size();
+         base += replicates) {
+        ServeAggregate agg;
+        agg.config = results[base].config;
+        std::vector<double> p50, p99, mean_latency, throughput;
+        std::vector<double> queue_wait, batch_size, joules, violations;
+        for (std::size_t r = 0; r < replicates; ++r) {
+            const serve::ServeStats &stats = results[base + r].stats;
+            agg.seeds.push_back(results[base + r].config.seed);
+            p50.push_back(stats.p50LatencyCycles);
+            p99.push_back(stats.p99LatencyCycles);
+            mean_latency.push_back(stats.meanLatencyCycles);
+            throughput.push_back(stats.throughputRps);
+            queue_wait.push_back(stats.meanQueueWaitCycles);
+            batch_size.push_back(stats.meanBatchSize);
+            joules.push_back(stats.totalJoules);
+            double misses = 0.0;
+            for (const serve::TenantStats &t : stats.tenantStats)
+                misses += static_cast<double>(t.sloViolations);
+            violations.push_back(misses);
+        }
+        agg.p50LatencyCycles = aggregateStat(p50);
+        agg.p99LatencyCycles = aggregateStat(p99);
+        agg.meanLatencyCycles = aggregateStat(mean_latency);
+        agg.throughputRps = aggregateStat(throughput);
+        agg.meanQueueWaitCycles = aggregateStat(queue_wait);
+        agg.meanBatchSize = aggregateStat(batch_size);
+        agg.totalJoules = aggregateStat(joules);
+        agg.sloViolations = aggregateStat(violations);
+        aggregates.push_back(std::move(agg));
+    }
+    return aggregates;
 }
 
 } // namespace hygcn::api

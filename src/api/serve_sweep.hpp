@@ -4,8 +4,8 @@
  * Session/SweepBuilder for the serve layer: a ServeSweep starts from
  * a base ServeConfig (or a ServeSession under construction) and
  * varies scheduling policy x batch cost model x routing objective x
- * cluster shape x max batch size x arrival rate, executing the
- * expansion on a std::thread worker pool:
+ * cluster shape x max batch size x arrival rate x arrival process x
+ * seed, executing the expansion on a std::thread worker pool:
  *
  *   auto results = ServeSweep(session.config())
  *                      .policies({"fifo", "edf"})
@@ -22,6 +22,11 @@
  * regardless of the worker count, and every run is deterministic in
  * its config, so a parallel sweep serializes to exactly the same
  * JSON as a sequential one.
+ *
+ * A seeds() axis turns each sweep point into seed replicates, and
+ * runAggregated() folds the replicates into ServeAggregate records —
+ * mean/stddev/min/max error bars per headline metric — ready for
+ * plotting via toJson(const std::vector<ServeAggregate> &).
  */
 
 #ifndef HYGCN_API_SERVE_SWEEP_HPP
@@ -35,6 +40,41 @@
 #include "serve/workload.hpp"
 
 namespace hygcn::api {
+
+/** Mean / sample stddev / min / max of one metric across the seed
+ *  replicates of a sweep point (stddev 0 for a single replicate). */
+struct AggregateStat
+{
+    double mean = 0.0;
+    double stddev = 0.0;
+    double min = 0.0;
+    double max = 0.0;
+};
+
+/**
+ * One sweep point summarized across its seed replicates: the point's
+ * config (the first replicate's — the replicates differ only in
+ * seed), the seeds aggregated over, and error-bar statistics for the
+ * headline serving metrics. Produced by ServeSweep::runAggregated().
+ */
+struct ServeAggregate
+{
+    serve::ServeConfig config;
+    std::vector<std::uint64_t> seeds;
+
+    AggregateStat p50LatencyCycles;
+    AggregateStat p99LatencyCycles;
+    AggregateStat meanLatencyCycles;
+    AggregateStat throughputRps;
+    AggregateStat meanQueueWaitCycles;
+    AggregateStat meanBatchSize;
+    AggregateStat totalJoules;
+    AggregateStat sloViolations;
+};
+
+/** Mean / sample stddev / min / max of @p values; throws
+ *  std::invalid_argument when empty. */
+AggregateStat aggregateStat(const std::vector<double> &values);
 
 /** Fluent cartesian sweep + parallel executor over the serve layer. */
 class ServeSweep
@@ -69,8 +109,19 @@ class ServeSweep
     /** Largest batch sizes one instance serves at once. */
     ServeSweep &maxBatches(std::vector<std::uint32_t> sizes);
 
-    /** Mean interarrival gaps in cycles, innermost axis. */
+    /** Mean interarrival gaps in cycles. */
     ServeSweep &arrivalRates(std::vector<double> mean_interarrival_cycles);
+
+    /** Arrival-process registry names ("poisson", "flash-crowd",
+     *  ...); each keeps the base's ArrivalSpec parameters. */
+    ServeSweep &arrivalProcesses(std::vector<std::string> names);
+
+    /**
+     * Seed replicates, innermost axis: every other sweep point runs
+     * once per seed, and runAggregated() folds the replicates into
+     * one ServeAggregate with error bars.
+     */
+    ServeSweep &seeds(std::vector<std::uint64_t> seeds);
 
     /** Worker threads for runAll (0 = hardware concurrency). */
     ServeSweep &threads(unsigned count);
@@ -81,8 +132,8 @@ class ServeSweep
     /**
      * Expand the cartesian product into concrete configs, in
      * deterministic declaration order: policies outermost, then cost
-     * models, objectives, clusters, max batch sizes, and arrival
-     * rates innermost.
+     * models, objectives, clusters, max batch sizes, arrival rates,
+     * arrival processes, and seed replicates innermost.
      */
     std::vector<serve::ServeConfig> expand() const;
 
@@ -93,6 +144,15 @@ class ServeSweep
      */
     std::vector<serve::ServeResult> runAll() const;
 
+    /**
+     * runAll(), then fold each sweep point's seed replicates
+     * (consecutive in expansion order, seeds being the innermost
+     * axis) into one ServeAggregate with mean/stddev/min/max error
+     * bars per metric. Without a seeds() axis every point aggregates
+     * its single run (stddev 0).
+     */
+    std::vector<ServeAggregate> runAggregated() const;
+
   private:
     serve::ServeConfig base_;
     std::vector<std::string> policies_;
@@ -101,6 +161,8 @@ class ServeSweep
     std::vector<serve::ClusterSpec> clusters_;
     std::vector<std::uint32_t> maxBatches_;
     std::vector<double> arrivalRates_;
+    std::vector<std::string> arrivalProcesses_;
+    std::vector<std::uint64_t> seeds_;
     unsigned threads_ = 0;
 };
 

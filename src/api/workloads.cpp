@@ -3,10 +3,12 @@
  * Built-in serving workload presets, registered into the Registry so
  * a serving scenario is data, not code: "serve-smoke" (small scaled
  * single-tenant mix, the golden-regression fixture), "serve-steady"
- * (full-size two-dataset mix under moderate load), and
- * "serve-bursty" (two tenants with skewed mixes and tight arrivals,
- * the tail-latency stressor). Nothing here is public API beyond
- * registerBuiltinWorkloads().
+ * (full-size two-dataset mix under moderate load), "serve-bursty"
+ * (two tenants with skewed mixes and tight arrivals, the tail-latency
+ * stressor), and the adversarial-arrival trio "serve-diurnal",
+ * "serve-flashcrowd", and "serve-heavytail" — the serve-smoke
+ * cluster under non-Poisson arrival processes, cheap enough for CI.
+ * Nothing here is public API beyond registerBuiltinWorkloads().
  */
 
 #include "api/registry.hpp"
@@ -93,6 +95,68 @@ bursty()
     return config;
 }
 
+/**
+ * Shared cluster for the adversarial-arrival presets: the scaled
+ * serve-smoke scenario pair, longer stream, two SLO-carrying tenants
+ * so violation accounting has something to count. Scaled datasets
+ * keep the trio cheap enough to run end to end in CI.
+ */
+serve::ServeConfig
+adversarialBase()
+{
+    serve::ServeConfig config;
+    config.platform = "hygcn";
+    config.scenarios = {scenario(DatasetId::CR, ModelId::GCN, 0.2),
+                        scenario(DatasetId::CR, ModelId::GIN, 0.2)};
+    config.tenants = {{"interactive", 0.75, {3.0, 1.0}, 400000, 0.0},
+                      {"analytics", 0.25, {1.0, 2.0}, 0, 0.0}};
+    config.numRequests = 192;
+    config.meanInterarrivalCycles = 40000.0;
+    config.seed = 20200222;
+    config.instances = 2;
+    config.maxBatch = 4;
+    config.batchTimeoutCycles = 100000;
+    return config;
+}
+
+/** Sinusoidal day/night load swinging +/-70% around the mean rate. */
+serve::ServeConfig
+diurnal()
+{
+    serve::ServeConfig config = adversarialBase();
+    config.arrival.process = "diurnal";
+    config.arrival.diurnalAmplitude = 0.7;
+    // Two full "days" across the 192-request stream.
+    config.arrival.diurnalPeriodCycles = 96 * 40000.0;
+    return config;
+}
+
+/** Quiet baseline, then an 8x burst ramping in and out — the
+ *  queue-depth stressor the control-plane work targets. */
+serve::ServeConfig
+flashcrowd()
+{
+    serve::ServeConfig config = adversarialBase();
+    config.arrival.process = "flash-crowd";
+    config.arrival.burstAmplitude = 8.0;
+    config.arrival.burstStartCycle = 1000000;
+    config.arrival.burstDurationCycles = 2000000;
+    config.arrival.burstRampCycles = 250000;
+    return config;
+}
+
+/** Pareto interarrivals (alpha 1.5): long quiet stretches broken by
+ *  dense clumps, the tail-latency counterpart of flash-crowd. */
+serve::ServeConfig
+heavytail()
+{
+    serve::ServeConfig config = adversarialBase();
+    config.arrival.process = "heavy-tail";
+    config.arrival.heavyTailDist = "pareto";
+    config.arrival.paretoAlpha = 1.5;
+    return config;
+}
+
 } // namespace
 
 void
@@ -101,6 +165,9 @@ registerBuiltinWorkloads(Registry &registry)
     registry.registerWorkload("serve-smoke", smoke);
     registry.registerWorkload("serve-steady", steady);
     registry.registerWorkload("serve-bursty", bursty);
+    registry.registerWorkload("serve-diurnal", diurnal);
+    registry.registerWorkload("serve-flashcrowd", flashcrowd);
+    registry.registerWorkload("serve-heavytail", heavytail);
 }
 
 } // namespace hygcn::api

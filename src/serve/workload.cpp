@@ -1,7 +1,10 @@
 #include "serve/workload.hpp"
 
-#include <cmath>
 #include <stdexcept>
+
+#include "api/registry.hpp"
+#include "workload/arrival_process.hpp"
+#include "workload/trace.hpp"
 
 namespace hygcn::serve {
 
@@ -101,6 +104,7 @@ ServeConfig::validate() const
     if (routeObjective.empty())
         throw std::invalid_argument(
             "serve: routeObjective name is empty");
+    arrival.validate();
 }
 
 std::vector<TenantMix>
@@ -112,9 +116,7 @@ resolvedTenants(const ServeConfig &config)
 }
 
 RequestGenerator::RequestGenerator(const ServeConfig &config)
-    : numRequests_(config.numRequests),
-      meanGap_(config.meanInterarrivalCycles),
-      rng_(config.seed)
+    : numRequests_(config.numRequests), rng_(config.seed)
 {
     config.validate();
 
@@ -125,6 +127,7 @@ RequestGenerator::RequestGenerator(const ServeConfig &config)
     for (const TenantMix &t : tenants) {
         tenant_weights.push_back(t.weight);
         tenantSlo_.push_back(t.sloLatencyCycles);
+        tenantNames_.push_back(t.name);
     }
     tenantCumulative_ = cumulate(tenant_weights, "tenant");
 
@@ -133,7 +136,17 @@ RequestGenerator::RequestGenerator(const ServeConfig &config)
         scenarioCumulative_.push_back(cumulate(
             t.scenarioWeights.empty() ? uniform : t.scenarioWeights,
             "scenario"));
+    for (const ServeScenario &s : config.scenarios)
+        scenarioNames_.push_back(s.name);
+
+    process_ = api::Registry::global().makeArrivalProcess(
+        config.arrival.process, config);
+    if (!config.arrival.recordPath.empty())
+        recorder_ = std::make_unique<workload::TraceWriter>(
+            config.arrival.recordPath);
 }
+
+RequestGenerator::~RequestGenerator() = default;
 
 std::uint32_t
 RequestGenerator::draw(const std::vector<double> &cumulative)
@@ -148,18 +161,33 @@ RequestGenerator::draw(const std::vector<double> &cumulative)
 ServeRequest
 RequestGenerator::next()
 {
-    // Exponential interarrival gap via inverse transform; u in [0,1)
-    // keeps the log argument in (0,1].
-    const double u = rng_.nextDouble();
-    const double gap = -std::log(1.0 - u) * meanGap_;
-    now_ += static_cast<Cycle>(std::llround(gap));
+    // The process samples the gap on the shared stream RNG; tenant
+    // and scenario draws follow on the same RNG (the legacy order,
+    // so "poisson" streams are byte-identical) unless the process
+    // pins them, as trace replay does.
+    const workload::Arrival arrival =
+        process_->next(rng_, now_, nextId_);
+    now_ = satAddCycles(now_, arrival.gap);
 
     ServeRequest request;
     request.id = nextId_++;
     request.arrival = now_;
-    request.tenant = draw(tenantCumulative_);
-    request.scenario = draw(scenarioCumulative_[request.tenant]);
+    if (arrival.pinned) {
+        if (arrival.tenant >= tenantCumulative_.size() ||
+            arrival.scenario >= scenarioNames_.size())
+            throw std::invalid_argument(
+                "serve: arrival process pinned an out-of-range "
+                "tenant or scenario index");
+        request.tenant = arrival.tenant;
+        request.scenario = arrival.scenario;
+    } else {
+        request.tenant = draw(tenantCumulative_);
+        request.scenario = draw(scenarioCumulative_[request.tenant]);
+    }
     request.deadline = deadlineOf(now_, tenantSlo_[request.tenant]);
+    if (recorder_)
+        recorder_->append(now_, tenantNames_[request.tenant],
+                          scenarioNames_[request.scenario]);
     return request;
 }
 

@@ -14,6 +14,7 @@
 #define HYGCN_SERVE_WORKLOAD_HPP
 
 #include <cstdint>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -21,6 +22,12 @@
 #include "api/platform.hpp"
 #include "sim/rng.hpp"
 #include "sim/types.hpp"
+#include "workload/arrival.hpp"
+
+namespace hygcn::workload {
+class ArrivalProcess;
+class TraceWriter;
+} // namespace hygcn::workload
 
 namespace hygcn::serve {
 
@@ -150,6 +157,14 @@ struct ServeConfig
     /** Mean of the exponential interarrival gap, in cycles. */
     double meanInterarrivalCycles = 200000.0;
 
+    /**
+     * Arrival-process selection and parameters (workload/arrival.hpp):
+     * which registry process shapes the stream ("poisson" default,
+     * "diurnal", "flash-crowd", "mmpp", "heavy-tail", "trace"), its
+     * knobs, and an optional record-to-trace path.
+     */
+    workload::ArrivalSpec arrival;
+
     /** Seed for arrivals and tenant/scenario draws. */
     std::uint64_t seed = 1;
 
@@ -243,16 +258,21 @@ struct ServeRequest
 std::vector<TenantMix> resolvedTenants(const ServeConfig &config);
 
 /**
- * Seeded open-loop arrival process: exponential interarrival gaps,
- * tenants drawn by weight, scenarios by the tenant's mix, deadlines
- * from the tenant's SLO target. The generator never looks at service
- * state — arrivals are independent of how fast the cluster drains
- * them.
+ * Seeded open-loop request stream: the configured ArrivalProcess
+ * (registry-resolved from ServeConfig::arrival, "poisson" by
+ * default) samples interarrival gaps on sim/rng, tenants are drawn
+ * by weight and scenarios by the tenant's mix (unless the process
+ * pins them, as trace replay does), and deadlines come from the
+ * tenant's SLO target. The generator never looks at service state —
+ * arrivals are independent of how fast the cluster drains them —
+ * and when ArrivalSpec::recordPath is set it appends every request
+ * to a replayable trace as it is drawn.
  */
 class RequestGenerator
 {
   public:
     explicit RequestGenerator(const ServeConfig &config);
+    ~RequestGenerator();
 
     /** Next request in arrival order. */
     ServeRequest next();
@@ -265,10 +285,13 @@ class RequestGenerator
     std::uint32_t draw(const std::vector<double> &cumulative);
 
     std::uint64_t numRequests_;
-    double meanGap_;
     std::vector<double> tenantCumulative_;
     std::vector<std::vector<double>> scenarioCumulative_;
     std::vector<Cycle> tenantSlo_;
+    std::vector<std::string> tenantNames_;
+    std::vector<std::string> scenarioNames_;
+    std::unique_ptr<workload::ArrivalProcess> process_;
+    std::unique_ptr<workload::TraceWriter> recorder_;
     Rng rng_;
     std::uint64_t nextId_ = 0;
     Cycle now_ = 0;

@@ -4,6 +4,7 @@
 #include <map>
 
 #include "api/platform.hpp"
+#include "api/serve_sweep.hpp"
 #include "serve/scheduler.hpp"
 
 namespace hygcn {
@@ -302,6 +303,52 @@ toJson(const serve::ServeConfig &config)
     // opt-out configs are the ones that need to say so.
     if (!config.deadlineAwareBatching)
         out += ",\"deadline_aware_batching\":false";
+    // The arrival spec emits only off the default "poisson" process
+    // (goldens stay byte-identical), and then only the selected
+    // process's parameters. recordPath never emits: recording is an
+    // I/O side effect, not part of what the run answers, so a
+    // recorded run and its replay echo comparable configs.
+    if (config.arrival.process != "poisson") {
+        const workload::ArrivalSpec &arrival = config.arrival;
+        out += ",\"arrival\":{\"process\":\"" +
+               jsonEscape(arrival.process) + "\"";
+        if (arrival.process == "diurnal") {
+            out += ",\"amplitude\":" + number(arrival.diurnalAmplitude);
+            out += ",\"period_cycles\":" +
+                   number(arrival.diurnalPeriodCycles);
+        } else if (arrival.process == "flash-crowd") {
+            out += ",\"amplitude\":" + number(arrival.burstAmplitude);
+            out += ",\"start_cycle\":" +
+                   std::to_string(arrival.burstStartCycle);
+            out += ",\"duration_cycles\":" +
+                   std::to_string(arrival.burstDurationCycles);
+            out += ",\"ramp_cycles\":" +
+                   std::to_string(arrival.burstRampCycles);
+            out += ",\"period_cycles\":" +
+                   std::to_string(arrival.burstPeriodCycles);
+        } else if (arrival.process == "mmpp") {
+            out += ",\"rate_multipliers\":[";
+            for (std::size_t i = 0;
+                 i < arrival.mmppRateMultipliers.size(); ++i) {
+                if (i)
+                    out += ",";
+                out += number(arrival.mmppRateMultipliers[i]);
+            }
+            out += "],\"mean_dwell_cycles\":" +
+                   number(arrival.mmppMeanDwellCycles);
+        } else if (arrival.process == "heavy-tail") {
+            out += ",\"dist\":\"" + jsonEscape(arrival.heavyTailDist) +
+                   "\"";
+            if (arrival.heavyTailDist == "lognormal")
+                out += ",\"sigma\":" + number(arrival.lognormalSigma);
+            else
+                out += ",\"alpha\":" + number(arrival.paretoAlpha);
+        } else if (arrival.process == "trace") {
+            out += ",\"trace_file\":\"" + jsonEscape(arrival.traceFile) +
+                   "\"";
+        }
+        out += "}";
+    }
     out += "}";
     return out;
 }
@@ -520,6 +567,63 @@ toJson(const serve::ServeResult &result, bool per_request)
         out += "]";
     }
     out += "}";
+    return out;
+}
+
+namespace {
+
+std::string
+aggregateStatJson(const char *name, const api::AggregateStat &stat)
+{
+    std::string out = "\"";
+    out += name;
+    out += "\":{\"mean\":" + number(stat.mean) +
+           ",\"stddev\":" + number(stat.stddev) +
+           ",\"min\":" + number(stat.min) +
+           ",\"max\":" + number(stat.max) + "}";
+    return out;
+}
+
+} // namespace
+
+std::string
+toJson(const std::vector<api::ServeAggregate> &aggregates)
+{
+    std::string out = "[";
+    for (std::size_t i = 0; i < aggregates.size(); ++i) {
+        const api::ServeAggregate &agg = aggregates[i];
+        if (i)
+            out += ",";
+        out += "{\"config\":" + toJson(agg.config) + ",";
+        out += "\"seeds\":[";
+        for (std::size_t s = 0; s < agg.seeds.size(); ++s) {
+            if (s)
+                out += ",";
+            out += std::to_string(agg.seeds[s]);
+        }
+        out += "],\"replicates\":" + std::to_string(agg.seeds.size()) +
+               ",";
+        out += aggregateStatJson("p50_latency_cycles",
+                                 agg.p50LatencyCycles) +
+               ",";
+        out += aggregateStatJson("p99_latency_cycles",
+                                 agg.p99LatencyCycles) +
+               ",";
+        out += aggregateStatJson("mean_latency_cycles",
+                                 agg.meanLatencyCycles) +
+               ",";
+        out += aggregateStatJson("throughput_rps", agg.throughputRps) +
+               ",";
+        out += aggregateStatJson("mean_queue_wait_cycles",
+                                 agg.meanQueueWaitCycles) +
+               ",";
+        out += aggregateStatJson("mean_batch_size", agg.meanBatchSize) +
+               ",";
+        out += aggregateStatJson("total_joules", agg.totalJoules) + ",";
+        out += aggregateStatJson("slo_violations", agg.sloViolations);
+        out += "}";
+    }
+    out += "]";
     return out;
 }
 

@@ -17,6 +17,8 @@
 namespace hygcn::api {
 struct RunSpec;
 struct RunResult;
+struct AggregateStat;
+struct ServeAggregate;
 } // namespace hygcn::api
 
 namespace hygcn::serve {
@@ -65,6 +67,14 @@ std::string toJson(const serve::ServeConfig &config);
  */
 std::string toJson(const serve::ServeResult &result,
                    bool per_request = true);
+
+/**
+ * Serialize a seed-aggregated sweep (ServeSweep::runAggregated()) as
+ * a JSON array: one element per sweep point with its config echoed,
+ * the seeds aggregated over, and mean/stddev/min/max error bars per
+ * headline metric. Deterministic in the sweep's expansion order.
+ */
+std::string toJson(const std::vector<api::ServeAggregate> &aggregates);
 
 } // namespace hygcn
 

@@ -1,0 +1,253 @@
+#include "workload/arrival_process.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "workload/arrival.hpp"
+
+namespace hygcn::workload {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+/** Rate multipliers never collapse below this, so a deep diurnal
+ *  trough or a zero-ish state still produces finite gaps. */
+constexpr double kMinRate = 1e-3;
+
+/**
+ * A sampled gap as stream cycles. Clamped below the llround domain
+ * edge because heavy-tailed draws can explode; for the bounded
+ * exponential draws this is exactly the legacy
+ * llround-and-truncate conversion.
+ */
+Cycle
+toGap(double cycles)
+{
+    if (!(cycles > 0.0))
+        return 0;
+    return static_cast<Cycle>(
+        std::llround(std::min(cycles, 9.0e18)));
+}
+
+/** One exponential draw with mean @p mean, on the stream RNG. */
+double
+expGap(Rng &rng, double mean)
+{
+    const double u = rng.nextDouble();
+    return -std::log(1.0 - u) * mean;
+}
+
+} // namespace
+
+void
+ArrivalSpec::validate() const
+{
+    if (process.empty())
+        throw std::invalid_argument(
+            "workload: arrival process name is empty");
+    if (!(diurnalAmplitude >= 0.0) || diurnalAmplitude > 1.0)
+        throw std::invalid_argument(
+            "workload: diurnalAmplitude must be in [0, 1]");
+    if (!(diurnalPeriodCycles >= 0.0))
+        throw std::invalid_argument(
+            "workload: diurnalPeriodCycles must be >= 0");
+    if (!(burstAmplitude >= 1.0))
+        throw std::invalid_argument(
+            "workload: burstAmplitude must be >= 1");
+    for (double m : mmppRateMultipliers)
+        if (!(m > 0.0))
+            throw std::invalid_argument(
+                "workload: mmppRateMultipliers must be positive");
+    if (!(mmppMeanDwellCycles >= 0.0))
+        throw std::invalid_argument(
+            "workload: mmppMeanDwellCycles must be >= 0");
+    if (heavyTailDist != "pareto" && heavyTailDist != "lognormal")
+        throw std::invalid_argument(
+            "workload: heavyTailDist must be \"pareto\" or "
+            "\"lognormal\", not \"" +
+            heavyTailDist + "\"");
+    if (!(paretoAlpha > 1.0))
+        throw std::invalid_argument(
+            "workload: paretoAlpha must be > 1 (finite mean)");
+    if (!(lognormalSigma > 0.0))
+        throw std::invalid_argument(
+            "workload: lognormalSigma must be > 0");
+    if (process == "trace" && traceFile.empty())
+        throw std::invalid_argument(
+            "workload: the \"trace\" process needs "
+            "arrival.traceFile");
+}
+
+// ---- poisson -------------------------------------------------------
+
+PoissonProcess::PoissonProcess(const serve::ServeConfig &config)
+    : meanGap_(config.meanInterarrivalCycles)
+{
+}
+
+Arrival
+PoissonProcess::next(Rng &rng, Cycle, std::uint64_t)
+{
+    Arrival arrival;
+    arrival.gap = toGap(expGap(rng, meanGap_));
+    return arrival;
+}
+
+// ---- rate-modulated base -------------------------------------------
+
+RateModulatedProcess::RateModulatedProcess(
+    const serve::ServeConfig &config)
+    : meanGap_(config.meanInterarrivalCycles)
+{
+}
+
+Arrival
+RateModulatedProcess::next(Rng &rng, Cycle now, std::uint64_t)
+{
+    // One uniform draw per arrival, like poisson; the instantaneous
+    // rate only rescales the sampled gap. Evaluating the multiplier
+    // at the previous arrival keeps sampling one-pass and
+    // deterministic (a thinning sampler would draw a
+    // data-dependent number of uniforms).
+    const double rate =
+        std::max(rateMultiplier(now), kMinRate);
+    Arrival arrival;
+    arrival.gap = toGap(expGap(rng, meanGap_ / rate));
+    return arrival;
+}
+
+// ---- diurnal -------------------------------------------------------
+
+DiurnalProcess::DiurnalProcess(const serve::ServeConfig &config)
+    : RateModulatedProcess(config),
+      amplitude_(config.arrival.diurnalAmplitude),
+      periodCycles_(config.arrival.diurnalPeriodCycles > 0.0
+                        ? config.arrival.diurnalPeriodCycles
+                        : 64.0 * config.meanInterarrivalCycles)
+{
+}
+
+double
+DiurnalProcess::rateMultiplier(Cycle now) const
+{
+    if (!(periodCycles_ > 0.0))
+        return 1.0;
+    return 1.0 + amplitude_ * std::sin(2.0 * kPi *
+                                       static_cast<double>(now) /
+                                       periodCycles_);
+}
+
+// ---- flash crowd ---------------------------------------------------
+
+FlashCrowdProcess::FlashCrowdProcess(const serve::ServeConfig &config)
+    : RateModulatedProcess(config),
+      amplitude_(config.arrival.burstAmplitude),
+      start_(config.arrival.burstStartCycle),
+      duration_(config.arrival.burstDurationCycles),
+      ramp_(config.arrival.burstRampCycles),
+      period_(config.arrival.burstPeriodCycles)
+{
+    if (duration_ == 0)
+        duration_ = static_cast<Cycle>(
+            16.0 * config.meanInterarrivalCycles);
+    if (ramp_ == 0)
+        ramp_ = duration_ / 4;
+}
+
+double
+FlashCrowdProcess::rateMultiplier(Cycle now) const
+{
+    if (now < start_ || duration_ == 0)
+        return 1.0;
+    Cycle rel = now - start_;
+    if (period_ > 0)
+        rel %= period_;
+    if (rel >= duration_)
+        return 1.0;
+    // Linear ramp into and out of the plateau.
+    double fraction = 1.0;
+    if (ramp_ > 0) {
+        if (rel < ramp_)
+            fraction = static_cast<double>(rel) /
+                       static_cast<double>(ramp_);
+        else if (duration_ - rel < ramp_)
+            fraction = static_cast<double>(duration_ - rel) /
+                       static_cast<double>(ramp_);
+    }
+    return 1.0 + (amplitude_ - 1.0) * fraction;
+}
+
+// ---- mmpp ----------------------------------------------------------
+
+MmppProcess::MmppProcess(const serve::ServeConfig &config)
+    : meanGap_(config.meanInterarrivalCycles),
+      meanDwell_(config.arrival.mmppMeanDwellCycles > 0.0
+                     ? config.arrival.mmppMeanDwellCycles
+                     : 32.0 * config.meanInterarrivalCycles),
+      rates_(config.arrival.mmppRateMultipliers)
+{
+    if (rates_.empty())
+        rates_ = {0.4, 4.0};
+}
+
+Arrival
+MmppProcess::next(Rng &rng, Cycle now, std::uint64_t)
+{
+    // Dwell times come off the same stream RNG as the gaps, so the
+    // whole chain is a pure function of (config, seed).
+    if (!primed_) {
+        primed_ = true;
+        nextTransition_ = std::max<Cycle>(
+            1, toGap(expGap(rng, meanDwell_)));
+    }
+    while (now >= nextTransition_) {
+        state_ = (state_ + 1) % rates_.size();
+        nextTransition_ = serve::satAddCycles(
+            nextTransition_,
+            std::max<Cycle>(1, toGap(expGap(rng, meanDwell_))));
+    }
+    Arrival arrival;
+    arrival.gap = toGap(expGap(rng, meanGap_ / rates_[state_]));
+    return arrival;
+}
+
+// ---- heavy tail ----------------------------------------------------
+
+HeavyTailProcess::HeavyTailProcess(const serve::ServeConfig &config)
+    : meanGap_(config.meanInterarrivalCycles),
+      alpha_(config.arrival.paretoAlpha),
+      sigma_(config.arrival.lognormalSigma),
+      lognormal_(config.arrival.heavyTailDist == "lognormal")
+{
+}
+
+Arrival
+HeavyTailProcess::next(Rng &rng, Cycle, std::uint64_t)
+{
+    Arrival arrival;
+    if (meanGap_ <= 0.0)
+        return arrival;
+    if (lognormal_) {
+        // Box-Muller on two uniforms; mu chosen so E[gap] stays the
+        // configured mean.
+        const double u1 = rng.nextDouble();
+        const double u2 = rng.nextDouble();
+        const double z = std::sqrt(-2.0 * std::log(1.0 - u1)) *
+                         std::cos(2.0 * kPi * u2);
+        const double mu =
+            std::log(meanGap_) - 0.5 * sigma_ * sigma_;
+        arrival.gap = toGap(std::exp(mu + sigma_ * z));
+    } else {
+        // Inverse-transform Pareto with scale xm solving
+        // E[gap] = alpha*xm/(alpha-1) = mean.
+        const double u = rng.nextDouble();
+        const double xm = meanGap_ * (alpha_ - 1.0) / alpha_;
+        arrival.gap =
+            toGap(xm / std::pow(1.0 - u, 1.0 / alpha_));
+    }
+    return arrival;
+}
+
+} // namespace hygcn::workload

@@ -1,0 +1,183 @@
+#include "workload/trace.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <stdexcept>
+
+namespace hygcn::workload {
+
+namespace {
+
+/** CSV cannot carry these inside an unquoted field. */
+bool
+csvSafe(const std::string &name)
+{
+    return name.find(',') == std::string::npos &&
+           name.find('\n') == std::string::npos &&
+           name.find('\r') == std::string::npos;
+}
+
+} // namespace
+
+// ---- TraceWriter ---------------------------------------------------
+
+TraceWriter::TraceWriter(const std::string &path)
+    : path_(path), out_(path, std::ios::binary | std::ios::trunc)
+{
+    if (!out_.good())
+        throw std::runtime_error("workload: cannot open trace \"" +
+                                 path + "\" for writing");
+    out_ << kTraceHeader << "\n# arrival_cycle,tenant,scenario\n";
+    if (!out_.good())
+        throw std::runtime_error(
+            "workload: short write to trace \"" + path_ + "\"");
+}
+
+void
+TraceWriter::append(Cycle arrival, const std::string &tenant,
+                    const std::string &scenario)
+{
+    if (!csvSafe(tenant) || !csvSafe(scenario))
+        throw std::invalid_argument(
+            "workload: tenant/scenario names recorded to a trace "
+            "must not contain commas or newlines");
+    out_ << arrival << ',' << tenant << ',' << scenario << '\n';
+    if (!out_.good())
+        throw std::runtime_error(
+            "workload: short write to trace \"" + path_ + "\"");
+    ++records_;
+}
+
+// ---- TraceReader ---------------------------------------------------
+
+TraceReader::TraceReader(const std::string &path)
+    : path_(path), in_(path, std::ios::binary)
+{
+    if (!in_.good())
+        throw std::runtime_error("workload: cannot open trace \"" +
+                                 path + "\"");
+    std::string header;
+    std::getline(in_, header);
+    ++line_;
+    if (!header.empty() && header.back() == '\r')
+        header.pop_back();
+    if (header != kTraceHeader)
+        fail(std::string("expected header \"") + kTraceHeader +
+             "\"");
+}
+
+void
+TraceReader::fail(const std::string &what) const
+{
+    throw std::runtime_error("workload: trace \"" + path_ +
+                             "\" line " + std::to_string(line_) +
+                             ": " + what);
+}
+
+std::optional<TraceRecord>
+TraceReader::next()
+{
+    std::string text;
+    while (std::getline(in_, text)) {
+        ++line_;
+        if (!text.empty() && text.back() == '\r')
+            text.pop_back();
+        if (text.empty() || text.front() == '#')
+            continue;
+
+        const std::size_t first = text.find(',');
+        const std::size_t second =
+            first == std::string::npos
+                ? std::string::npos
+                : text.find(',', first + 1);
+        if (second == std::string::npos ||
+            text.find(',', second + 1) != std::string::npos)
+            fail("expected arrival_cycle,tenant,scenario");
+
+        const std::string arrival_text = text.substr(0, first);
+        errno = 0;
+        char *end = nullptr;
+        const unsigned long long arrival =
+            std::strtoull(arrival_text.c_str(), &end, 10);
+        if (arrival_text.empty() || end == arrival_text.c_str() ||
+            *end != '\0' || errno == ERANGE)
+            fail("arrival cycle \"" + arrival_text +
+                 "\" is not a non-negative integer");
+
+        TraceRecord record;
+        record.arrival = static_cast<Cycle>(arrival);
+        record.tenant = text.substr(first + 1, second - first - 1);
+        record.scenario = text.substr(second + 1);
+        if (record.tenant.empty() || record.scenario.empty())
+            fail("empty tenant or scenario field");
+        if (records_ > 0 && record.arrival < lastArrival_)
+            fail("arrival cycles must be non-decreasing (" +
+                 std::to_string(record.arrival) + " after " +
+                 std::to_string(lastArrival_) + ")");
+        lastArrival_ = record.arrival;
+        ++records_;
+        return record;
+    }
+    if (in_.bad())
+        fail("read error");
+    return std::nullopt;
+}
+
+// ---- TraceArrivalProcess -------------------------------------------
+
+TraceArrivalProcess::TraceArrivalProcess(
+    const serve::ServeConfig &config)
+    : reader_(config.arrival.traceFile)
+{
+    // First declaration wins on duplicate names, matching the
+    // stats-layer convention of addressing tenants by index order.
+    const std::vector<serve::TenantMix> tenants =
+        serve::resolvedTenants(config);
+    for (std::size_t i = 0; i < tenants.size(); ++i)
+        tenantIndex_.emplace(tenants[i].name,
+                             static_cast<std::uint32_t>(i));
+    for (std::size_t i = 0; i < config.scenarios.size(); ++i)
+        scenarioIndex_.emplace(config.scenarios[i].name,
+                               static_cast<std::uint32_t>(i));
+}
+
+std::uint32_t
+TraceArrivalProcess::resolve(
+    const std::map<std::string, std::uint32_t> &map,
+    const std::string &name, const char *what) const
+{
+    const auto it = map.find(name);
+    if (it == map.end())
+        throw std::runtime_error(
+            "workload: trace record names unknown " +
+            std::string(what) + " \"" + name +
+            "\" (not declared by the replaying config)");
+    return it->second;
+}
+
+Arrival
+TraceArrivalProcess::next(Rng &, Cycle now, std::uint64_t index)
+{
+    std::optional<TraceRecord> record = reader_.next();
+    if (!record)
+        throw std::runtime_error(
+            "workload: trace exhausted after " +
+            std::to_string(reader_.records()) +
+            " records; the replaying config asks for request " +
+            std::to_string(index + 1));
+    if (record->arrival < now)
+        throw std::runtime_error(
+            "workload: trace arrival " +
+            std::to_string(record->arrival) +
+            " precedes the stream clock " + std::to_string(now));
+
+    Arrival arrival;
+    arrival.gap = record->arrival - now;
+    arrival.pinned = true;
+    arrival.tenant = resolve(tenantIndex_, record->tenant, "tenant");
+    arrival.scenario =
+        resolve(scenarioIndex_, record->scenario, "scenario");
+    return arrival;
+}
+
+} // namespace hygcn::workload

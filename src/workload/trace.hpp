@@ -1,0 +1,129 @@
+/**
+ * @file
+ * The replayable trace layer: one CSV record per request, streamed
+ * line-by-line in both directions so a million-request trace never
+ * lives in memory at once (yaf-style incremental I/O). Format
+ * (version-stamped, hand-editable):
+ *
+ *   # hygcn-trace v1
+ *   # arrival_cycle,tenant,scenario
+ *   1834,interactive,cora/gcn
+ *   7012,analytics,citeseer/gcn
+ *
+ * Arrival cycles are absolute and non-decreasing; tenant and
+ * scenario are the config's names, so a trace replays against any
+ * config declaring the same names (deadlines are re-derived from the
+ * replaying config's SLOs). TraceWriter records any generated
+ * stream (ArrivalSpec::recordPath), TraceReader streams one back,
+ * and TraceArrivalProcess is the "trace" registry process that
+ * replays a file through the request generator byte-exactly.
+ */
+
+#ifndef HYGCN_WORKLOAD_TRACE_HPP
+#define HYGCN_WORKLOAD_TRACE_HPP
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "workload/arrival_process.hpp"
+
+namespace hygcn::workload {
+
+/** Magic first line every trace file starts with. */
+inline constexpr const char *kTraceHeader = "# hygcn-trace v1";
+
+/** One parsed trace line. */
+struct TraceRecord
+{
+    /** Absolute arrival cycle (non-decreasing across the file). */
+    Cycle arrival = 0;
+
+    /** Tenant name, resolved against the replaying config. */
+    std::string tenant;
+
+    /** Scenario name, resolved against the replaying config. */
+    std::string scenario;
+};
+
+/**
+ * Appends records to a trace file as they are generated — one
+ * line per append, never buffering the stream. Throws
+ * std::runtime_error on I/O failure and std::invalid_argument on
+ * names the CSV form cannot carry (embedded comma/newline).
+ */
+class TraceWriter
+{
+  public:
+    /** Opens (truncates) @p path and writes the header. */
+    explicit TraceWriter(const std::string &path);
+
+    void append(Cycle arrival, const std::string &tenant,
+                const std::string &scenario);
+
+    /** Lines appended so far (header excluded). */
+    std::uint64_t records() const { return records_; }
+
+  private:
+    std::string path_;
+    std::ofstream out_;
+    std::uint64_t records_ = 0;
+};
+
+/**
+ * Streams a trace file one record at a time. Validates the header
+ * up front and every line as it is read (field count, numeric
+ * arrival, monotone arrivals), reporting the offending line number;
+ * blank and '#'-comment lines are skipped.
+ */
+class TraceReader
+{
+  public:
+    explicit TraceReader(const std::string &path);
+
+    /** Next record, or nullopt at end of file. */
+    std::optional<TraceRecord> next();
+
+    /** Records returned so far. */
+    std::uint64_t records() const { return records_; }
+
+  private:
+    [[noreturn]] void fail(const std::string &what) const;
+
+    std::string path_;
+    std::ifstream in_;
+    std::uint64_t line_ = 0;
+    std::uint64_t records_ = 0;
+    Cycle lastArrival_ = 0;
+};
+
+/**
+ * The "trace" arrival process: replays ArrivalSpec::traceFile,
+ * pinning each request's tenant and scenario to the recorded names
+ * (resolved to indices against the replaying config; unknown names
+ * throw). A trace shorter than config.numRequests throws when the
+ * generator runs off its end.
+ */
+class TraceArrivalProcess : public ArrivalProcess
+{
+  public:
+    explicit TraceArrivalProcess(const serve::ServeConfig &config);
+
+    Arrival next(Rng &rng, Cycle now, std::uint64_t index) override;
+
+  private:
+    std::uint32_t resolve(const std::map<std::string, std::uint32_t> &map,
+                          const std::string &name,
+                          const char *what) const;
+
+    TraceReader reader_;
+    std::map<std::string, std::uint32_t> tenantIndex_;
+    std::map<std::string, std::uint32_t> scenarioIndex_;
+};
+
+} // namespace hygcn::workload
+
+#endif // HYGCN_WORKLOAD_TRACE_HPP

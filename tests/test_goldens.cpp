@@ -7,10 +7,19 @@
  *
  * Regenerate after an intentional change with tests/update_goldens.sh
  * (runs this binary with HYGCN_UPDATE_GOLDENS=1).
+ *
+ * HYGCN_GOLDEN_RTOL=<rtol> relaxes the comparison to a tokenwise one
+ * that allows numeric JSON tokens to differ within the given relative
+ * tolerance while everything else stays byte-exact — useful when
+ * chasing a cross-toolchain last-ulp formatting difference without
+ * silencing structural drift. Unset (the default) means byte-exact.
  */
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cctype>
+#include <cmath>
 #include <cstdlib>
 #include <fstream>
 #include <sstream>
@@ -23,6 +32,72 @@
 using namespace hygcn;
 
 namespace {
+
+/** HYGCN_GOLDEN_RTOL as a double, or 0 (byte-exact) when unset. */
+double
+goldenRtol()
+{
+    const char *env = std::getenv("HYGCN_GOLDEN_RTOL");
+    if (env == nullptr || *env == '\0')
+        return 0.0;
+    char *end = nullptr;
+    const double rtol = std::strtod(env, &end);
+    EXPECT_TRUE(end != env && *end == '\0' && rtol >= 0.0)
+        << "HYGCN_GOLDEN_RTOL=\"" << env
+        << "\" is not a non-negative number";
+    return (end != env && *end == '\0' && rtol >= 0.0) ? rtol : 0.0;
+}
+
+/** True at the first character of a JSON number token: a digit, or a
+ *  minus sign followed by a digit. Positions inside strings never
+ *  qualify because the caller only probes where both documents agree
+ *  structurally up to numeric values. */
+bool
+numberStartsAt(const std::string &text, std::size_t i)
+{
+    if (i >= text.size())
+        return false;
+    if (std::isdigit(static_cast<unsigned char>(text[i])))
+        return true;
+    return text[i] == '-' && i + 1 < text.size() &&
+           std::isdigit(static_cast<unsigned char>(text[i + 1]));
+}
+
+/**
+ * Tokenwise comparison: numeric JSON tokens may differ within
+ * @p rtol relative to the larger magnitude (exact equality covers
+ * the both-zero case), everything else must match byte for byte.
+ * Returns true when @p actual is within tolerance of @p expected.
+ */
+bool
+jsonNumericallyEqual(const std::string &expected,
+                     const std::string &actual, double rtol)
+{
+    std::size_t i = 0, j = 0;
+    while (i < expected.size() && j < actual.size()) {
+        const bool num_e = numberStartsAt(expected, i);
+        const bool num_a = numberStartsAt(actual, j);
+        if (num_e && num_a) {
+            char *end_e = nullptr;
+            char *end_a = nullptr;
+            const double ve = std::strtod(expected.c_str() + i, &end_e);
+            const double va = std::strtod(actual.c_str() + j, &end_a);
+            const double scale =
+                std::max(std::abs(ve), std::abs(va));
+            if (std::abs(va - ve) > rtol * std::max(scale, 1e-300) &&
+                va != ve)
+                return false;
+            i = static_cast<std::size_t>(end_e - expected.c_str());
+            j = static_cast<std::size_t>(end_a - actual.c_str());
+            continue;
+        }
+        if (expected[i] != actual[j])
+            return false;
+        ++i;
+        ++j;
+    }
+    return i == expected.size() && j == actual.size();
+}
 
 std::string
 goldenPath(const std::string &name)
@@ -61,12 +136,46 @@ compareOrUpdate(const std::string &name, const std::string &json)
         << "; generate it with tests/update_goldens.sh";
     std::ostringstream content;
     content << in.rdbuf();
+
+    const double rtol = goldenRtol();
+    if (rtol > 0.0) {
+        EXPECT_TRUE(
+            jsonNumericallyEqual(content.str(), json + "\n", rtol))
+            << "golden " << name << " diverged beyond "
+            << "HYGCN_GOLDEN_RTOL=" << rtol << "; if the change is "
+            << "intentional, regenerate with tests/update_goldens.sh";
+        return;
+    }
     EXPECT_EQ(content.str(), json + "\n")
         << "golden " << name << " diverged; if the change is "
         << "intentional, regenerate with tests/update_goldens.sh";
 }
 
 } // namespace
+
+TEST(Goldens, NumericComparatorAcceptsWithinTolerance)
+{
+    // Identical documents always pass, at any tolerance.
+    EXPECT_TRUE(jsonNumericallyEqual("{\"a\":1.5}", "{\"a\":1.5}", 0.0));
+    // 1% drift inside a 5% budget; formatting may differ too.
+    EXPECT_TRUE(jsonNumericallyEqual("{\"a\":100}", "{\"a\":101}", 0.05));
+    EXPECT_TRUE(jsonNumericallyEqual("{\"a\":1e2}", "{\"a\":100.0}", 0.01));
+    // Negative numbers and exponents parse as one token.
+    EXPECT_TRUE(jsonNumericallyEqual("[-2.0e3,4]", "[-2.02e3,4]", 0.05));
+}
+
+TEST(Goldens, NumericComparatorRejectsBeyondTolerance)
+{
+    // 10% drift outside a 5% budget.
+    EXPECT_FALSE(jsonNumericallyEqual("{\"a\":100}", "{\"a\":110}", 0.05));
+    // Zero against non-zero has no relative scale to hide behind.
+    EXPECT_FALSE(jsonNumericallyEqual("{\"a\":0}", "{\"a\":1e-5}", 0.05));
+    // Structural drift never passes, whatever the tolerance.
+    EXPECT_FALSE(jsonNumericallyEqual("{\"a\":1}", "{\"b\":1}", 1.0));
+    EXPECT_FALSE(jsonNumericallyEqual("{\"a\":1}", "{\"a\":1,\"b\":2}", 1.0));
+    // A number against a non-number is structural, not numeric.
+    EXPECT_FALSE(jsonNumericallyEqual("{\"a\":1}", "{\"a\":true}", 1.0));
+}
 
 TEST(Goldens, SessionSweepJsonIsByteStable)
 {

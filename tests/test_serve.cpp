@@ -275,13 +275,23 @@ TEST(ServeSession, RegistryWorkloadPresetsAreRegistered)
 {
     api::Registry &registry = api::Registry::global();
     for (const char *name :
-         {"serve-smoke", "serve-steady", "serve-bursty"}) {
+         {"serve-smoke", "serve-steady", "serve-bursty",
+          "serve-diurnal", "serve-flashcrowd", "serve-heavytail"}) {
         ASSERT_TRUE(registry.hasWorkload(name)) << name;
         const ServeConfig config = registry.makeWorkload(name);
         config.validate();
         EXPECT_FALSE(config.scenarios.empty());
     }
-    EXPECT_EQ(registry.workloadNames().size(), 3u);
+    EXPECT_EQ(registry.workloadNames().size(), 6u);
+    // The adversarial presets select their namesake arrival process.
+    EXPECT_EQ(registry.makeWorkload("serve-diurnal").arrival.process,
+              "diurnal");
+    EXPECT_EQ(
+        registry.makeWorkload("serve-flashcrowd").arrival.process,
+        "flash-crowd");
+    EXPECT_EQ(
+        registry.makeWorkload("serve-heavytail").arrival.process,
+        "heavy-tail");
     EXPECT_THROW(registry.makeWorkload("serve-hurricane"),
                  std::out_of_range);
     try {

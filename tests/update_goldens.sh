@@ -7,8 +7,8 @@
 #
 # With --bench, also regenerate the CI bench baselines under
 # bench/baselines/ (BENCH_serve.json, BENCH_fig10.json,
-# BENCH_fig11.json) from the same build, so golden and baseline
-# refreshes land in one reviewed diff.
+# BENCH_fig11.json, BENCH_fig12.json) from the same build, so golden
+# and baseline refreshes land in one reviewed diff.
 #
 # Goldens and baselines are byte-exact, so regenerate them on the
 # same toolchain/platform class the CI comparison runs on; review the
@@ -38,7 +38,8 @@ fi
 HYGCN_UPDATE_GOLDENS=1 "$BIN"
 
 if [ "$BENCH" = 1 ]; then
-    for bench in serve_latency fig10_speedup fig11_energy; do
+    for bench in serve_latency fig10_speedup fig11_energy \
+                 fig12_energy_breakdown; do
         if [ ! -x "$BUILD/bench/$bench" ]; then
             echo "error: $BUILD/bench/$bench not built; run:" \
                  "cmake --build $BUILD -j --target $bench" >&2
@@ -48,4 +49,6 @@ if [ "$BENCH" = 1 ]; then
     "$BUILD/bench/serve_latency" --json bench/baselines/BENCH_serve.json
     "$BUILD/bench/fig10_speedup" --json bench/baselines/BENCH_fig10.json
     "$BUILD/bench/fig11_energy" --json bench/baselines/BENCH_fig11.json
+    "$BUILD/bench/fig12_energy_breakdown" --json \
+        bench/baselines/BENCH_fig12.json
 fi
