@@ -1,6 +1,21 @@
 #include "serve/route_objective.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 namespace hygcn::serve {
+
+int
+compareScores(double a, double b)
+{
+    const double tol =
+        kScoreTieRelEps * std::max(std::fabs(a), std::fabs(b));
+    if (a < b - tol)
+        return -1;
+    if (b < a - tol)
+        return 1;
+    return 0;
+}
 
 double
 CyclesObjective::score(Cycle service_cycles, double /*joules*/,

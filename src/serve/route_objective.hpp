@@ -54,7 +54,35 @@ class RouteObjective
     virtual double score(Cycle service_cycles, double joules,
                          std::size_t batch_size,
                          double clock_hz) const = 0;
+
+    /**
+     * True when score() is exactly the batch's service cycles, so
+     * the scheduler may rank candidates on the raw integer cycles
+     * instead of round-tripping them through a double — the integer
+     * compare is what the pre-objective scheduler did, and it is
+     * immune to libm/toolchain drift. Only CyclesObjective answers
+     * true among the built-ins.
+     */
+    virtual bool scoresServiceCycles() const { return false; }
 };
+
+/**
+ * Relative tolerance under which two objective scores count as tied.
+ * Scores are products/quotients of independently-priced doubles, so
+ * exact == ties are toolchain-fragile: two classes meant to tie can
+ * differ in the last ulp on one libm and not another, silently
+ * flipping the documented cycles -> least-recently-freed -> lowest-id
+ * tie chain. Anything within this relative band falls through to
+ * that chain instead.
+ */
+inline constexpr double kScoreTieRelEps = 1e-12;
+
+/**
+ * Three-way compare of two objective scores under kScoreTieRelEps:
+ * negative when @p a wins the dispatch, positive when @p b does,
+ * 0 when they tie and the deterministic tie chain must decide.
+ */
+int compareScores(double a, double b);
 
 /** Legacy cheapest-cycles routing ("cycles", the default). */
 class CyclesObjective : public RouteObjective
@@ -63,6 +91,7 @@ class CyclesObjective : public RouteObjective
     std::string name() const override { return "cycles"; }
     double score(Cycle service_cycles, double joules,
                  std::size_t batch_size, double clock_hz) const override;
+    bool scoresServiceCycles() const override { return true; }
 };
 
 /** Joules-per-request routing ("energy"). */

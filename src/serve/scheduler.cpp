@@ -218,15 +218,22 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     policy->bindCostOracle([&curves, &energy, scorer, clock_hz](
                                std::uint32_t scenario,
                                std::size_t batch) {
+        const bool raw_cycles = scorer->scoresServiceCycles();
         Cycle best_cycles = kNeverCycle;
         double best_score = 0.0;
         for (std::size_t c = 0; c < curves.size(); ++c) {
             const Cycle cyc = curveAt(curves[c][scenario], batch);
+            if (raw_cycles) {
+                best_cycles = std::min(best_cycles, cyc);
+                continue;
+            }
             const double score = scorer->score(
                 cyc, energyCurveAt(energy[c][scenario], batch), batch,
                 clock_hz);
-            if (best_cycles == kNeverCycle || score < best_score ||
-                (score == best_score && cyc < best_cycles)) {
+            const int order = best_cycles == kNeverCycle
+                                  ? -1
+                                  : compareScores(score, best_score);
+            if (order < 0 || (order == 0 && cyc < best_cycles)) {
                 best_cycles = cyc;
                 best_score = score;
             }
@@ -282,33 +289,43 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             // cycles and joules; ties break on service cycles, then
             // least-recently-freed, then lowest id — under the
             // default "cycles" objective exactly the legacy order.
+            // The incumbent's cost and score are carried across the
+            // loop (not re-priced per candidate), and score ties use
+            // compareScores' relative epsilon — or skip the double
+            // detour entirely when the objective *is* service cycles.
+            const bool raw_cycles = objective->scoresServiceCycles();
             std::size_t inst = free_at.size();
+            Cycle best = 0;
+            double best_score = 0.0;
             for (std::size_t i = 0; i < free_at.size(); ++i) {
                 if (free_at[i] > now)
                     continue;
-                if (inst == free_at.size()) {
-                    inst = i;
-                    continue;
-                }
                 const Cycle cost = curveAt(
                     curves[class_of[i]][scenario], members.size());
-                const Cycle best = curveAt(
-                    curves[class_of[inst]][scenario], members.size());
-                const double cost_score = objective->score(
-                    cost,
-                    energyCurveAt(energy[class_of[i]][scenario],
-                                  members.size()),
-                    members.size(), clock_hz);
-                const double best_score = objective->score(
-                    best,
-                    energyCurveAt(energy[class_of[inst]][scenario],
-                                  members.size()),
-                    members.size(), clock_hz);
-                if (cost_score < best_score ||
-                    (cost_score == best_score &&
-                     (cost < best ||
-                      (cost == best && free_at[i] < free_at[inst]))))
+                const double cost_score =
+                    raw_cycles ? 0.0
+                               : objective->score(
+                                     cost,
+                                     energyCurveAt(
+                                         energy[class_of[i]][scenario],
+                                         members.size()),
+                                     members.size(), clock_hz);
+                if (inst == free_at.size()) {
                     inst = i;
+                    best = cost;
+                    best_score = cost_score;
+                    continue;
+                }
+                const int order =
+                    raw_cycles ? 0 : compareScores(cost_score, best_score);
+                if (order < 0 ||
+                    (order == 0 &&
+                     (cost < best ||
+                      (cost == best && free_at[i] < free_at[inst])))) {
+                    inst = i;
+                    best = cost;
+                    best_score = cost_score;
+                }
             }
 
             const Cycle service = curveAt(

@@ -121,6 +121,40 @@ stubClusterConfig()
     return config;
 }
 
+/**
+ * Two-class cluster of near-identical stubs: service cycles exactly
+ * equal, joules apart by 1e-13 relative — far inside
+ * kScoreTieRelEps, so every objective must treat the classes as tied
+ * and fall through the documented service-cycles ->
+ * least-recently-freed -> lowest-id chain instead of letting a
+ * last-ulp score gap (which another libm could flip) decide.
+ */
+ServeConfig
+tieClusterConfig()
+{
+    api::Registry &registry = api::Registry::global();
+    if (!registry.hasPlatform("stub-tie-a")) {
+        registry.registerPlatform("stub-tie-a", [] {
+            return std::make_unique<StubPlatform>("stub-tie-a",
+                                                  1000000, 2.0);
+        });
+        registry.registerPlatform("stub-tie-b", [] {
+            return std::make_unique<StubPlatform>(
+                "stub-tie-b", 1000000, 2.0 * (1.0 + 1e-13));
+        });
+    }
+
+    ServeConfig config;
+    config.cluster.classes = {{"stub-tie-a", 1, {}, "a"},
+                              {"stub-tie-b", 1, {}, "b"}};
+    config.scenarios = {{"stub/gcn", {}}};
+    config.maxBatch = 2;
+    config.numRequests = 24;
+    config.meanInterarrivalCycles = 2e9;
+    config.batchTimeoutCycles = 0;
+    return config;
+}
+
 /** Index of the class that served every batch; -1 on a mix. */
 int
 soleServingClass(const ServeResult &result)
@@ -401,6 +435,26 @@ TEST(RouteObjectives, CyclesObjectiveKeepsLegacySchedulesByteIdentical)
     const std::string implicit = toJson(runServe(config));
     config.routeObjective = "cycles";
     EXPECT_EQ(toJson(runServe(config)), implicit);
+}
+
+TEST(RouteObjectives, SubEpsilonScoreGapsFallThroughTheTieChain)
+{
+    // Arrivals sit three orders beyond either service time, so both
+    // classes are free at every dispatch. Tied scores and tied
+    // service cycles leave least-recently-freed in charge: the first
+    // batch takes the lowest id, and dispatches then alternate
+    // between the two instances. Before the epsilon compare, the
+    // 1e-13 joules gap made "energy"/"edp" pin every batch to class
+    // a — an ordering one libm rounding away from flipping.
+    for (const char *objective : {"cycles", "energy", "edp"}) {
+        ServeConfig config = tieClusterConfig();
+        config.routeObjective = objective;
+        const ServeResult result = Scheduler(config).run();
+        ASSERT_GE(result.batches.size(), 4u) << objective;
+        for (std::size_t i = 0; i < result.batches.size(); ++i)
+            EXPECT_EQ(result.batches[i].instance, i % 2)
+                << objective << " batch " << i;
+    }
 }
 
 // ---- JSON emission -------------------------------------------------
