@@ -221,4 +221,25 @@ ServeSession::deadlineAwareBatching(bool on)
     return *this;
 }
 
+ServeSession &
+ServeSession::streamingStats(bool on)
+{
+    config_.streamingStats = on;
+    return *this;
+}
+
+ServeSession &
+ServeSession::statsReservoir(std::uint64_t capacity)
+{
+    config_.statsReservoirCapacity = capacity;
+    return *this;
+}
+
+ServeSession &
+ServeSession::statsFlushEvery(std::uint64_t n)
+{
+    config_.statsFlushEveryRequests = n;
+    return *this;
+}
+
 } // namespace hygcn::api

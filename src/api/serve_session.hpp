@@ -135,6 +135,21 @@ class ServeSession
      *  queued deadline. */
     ServeSession &deadlineAwareBatching(bool on = true);
 
+    // ---- streaming stats ---------------------------------------
+    /** Stream aggregate stats through a StreamingStatsSink instead
+     *  of materializing per-request records, so memory stays bounded
+     *  at million-request scale (ServeConfig::streamingStats);
+     *  ServeResult.requests/.batches stay empty. */
+    ServeSession &streamingStats(bool on = true);
+
+    /** Latency samples each streaming reservoir retains; runs at or
+     *  below this many requests get exact percentiles. */
+    ServeSession &statsReservoir(std::uint64_t capacity);
+
+    /** Print one running-stats line to stderr every @p n served
+     *  requests during a streaming run (0 disables). */
+    ServeSession &statsFlushEvery(std::uint64_t n);
+
     /** The accumulated config. */
     serve::ServeConfig &config() { return config_; }
     const serve::ServeConfig &config() const { return config_; }

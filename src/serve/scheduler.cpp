@@ -2,13 +2,19 @@
 
 #include <algorithm>
 #include <cmath>
+#include <functional>
+#include <iostream>
 #include <map>
+#include <optional>
+#include <queue>
 #include <stdexcept>
+#include <utility>
 
 #include "api/registry.hpp"
 #include "serve/cost_model.hpp"
 #include "serve/priced_cache.hpp"
 #include "serve/route_objective.hpp"
+#include "serve/stats_sink.hpp"
 
 namespace hygcn::serve {
 
@@ -197,14 +203,60 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     result.scenarioUnitCycles = result.unitCyclesByClass.front();
     result.clockHz = clock_hz;
 
-    const std::vector<ServeRequest> stream =
-        RequestGenerator(config_).generate();
-    result.requests.resize(stream.size());
+    // Requests generate lazily, one look-ahead arrival at a time:
+    // generation never reads service state, so interleaving it with
+    // the event loop reproduces the up-front stream exactly while a
+    // million-request run holds one pending request instead of all
+    // of them. The materialized path keeps its arena — a single
+    // contiguous RequestRecord vector indexed by request id,
+    // preallocated once; streaming runs skip it entirely.
+    const std::uint64_t total_requests = config_.numRequests;
+    const bool streaming = config_.streamingStats;
+    if (!streaming)
+        result.requests.resize(total_requests);
+
+    RequestGenerator generator(config_);
+    std::uint64_t generated = 0;
+    std::optional<ServeRequest> pending;
+    auto refill = [&generator, &generated, &pending, total_requests] {
+        if (generated < total_requests) {
+            pending = generator.next();
+            ++generated;
+        } else {
+            pending.reset();
+        }
+    };
+    refill();
 
     const std::unique_ptr<SchedulerPolicy> policy =
         api::Registry::global().makePolicy(config_.policy, config_);
     const std::unique_ptr<RouteObjective> objective =
         api::Registry::global().makeObjective(config_.routeObjective);
+
+    const std::size_t num_classes = curves.size();
+    const std::size_t num_scenarios = config_.scenarios.size();
+    const std::size_t max_batch = config_.maxBatch;
+    const bool raw_cycles = objective->scoresServiceCycles();
+
+    // Objective scores depend only on (class, scenario, batch size),
+    // so they price once into a flat table here and the hot loop
+    // never calls the objective again. Under the default "cycles"
+    // objective routing ranks on the raw integer curves instead, so
+    // no table is needed at all.
+    std::vector<std::vector<std::vector<double>>> scores;
+    if (!raw_cycles) {
+        scores.assign(num_classes, {});
+        for (std::size_t c = 0; c < num_classes; ++c) {
+            scores[c].assign(num_scenarios, {});
+            for (std::size_t s = 0; s < num_scenarios; ++s) {
+                scores[c][s].resize(max_batch);
+                for (std::size_t b = 1; b <= max_batch; ++b)
+                    scores[c][s][b - 1] = objective->score(
+                        curveAt(curves[c][s], b),
+                        energyCurveAt(energy[c][s], b), b, clock_hz);
+            }
+        }
+    }
 
     // The policy's view of batch cost: the service cycles of the
     // class the configured objective would pick with every instance
@@ -213,17 +265,19 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     // under "energy"/"edp" it is the efficient class's (slower)
     // curve, so deadline-aware batch sizing budgets against where
     // the batch will actually land instead of a class routing would
-    // never choose.
+    // never choose. Answers for the policy-reachable sizes
+    // (1..maxBatch) precompute into a table; anything else falls
+    // back to the direct scan.
     const RouteObjective *scorer = objective.get();
-    policy->bindCostOracle([&curves, &energy, scorer, clock_hz](
-                               std::uint32_t scenario,
-                               std::size_t batch) {
-        const bool raw_cycles = scorer->scoresServiceCycles();
+    auto oracle_direct = [&curves, &energy, scorer, clock_hz](
+                             std::uint32_t scenario,
+                             std::size_t batch) {
+        const bool raw = scorer->scoresServiceCycles();
         Cycle best_cycles = kNeverCycle;
         double best_score = 0.0;
         for (std::size_t c = 0; c < curves.size(); ++c) {
             const Cycle cyc = curveAt(curves[c][scenario], batch);
-            if (raw_cycles) {
+            if (raw) {
                 best_cycles = std::min(best_cycles, cyc);
                 continue;
             }
@@ -239,12 +293,42 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             }
         }
         return best_cycles;
+    };
+    std::vector<std::vector<Cycle>> oracle_table(num_scenarios);
+    for (std::size_t s = 0; s < num_scenarios; ++s) {
+        oracle_table[s].resize(max_batch);
+        for (std::size_t b = 1; b <= max_batch; ++b)
+            oracle_table[s][b - 1] =
+                oracle_direct(static_cast<std::uint32_t>(s), b);
+    }
+    policy->bindCostOracle([&oracle_table, oracle_direct](
+                               std::uint32_t scenario,
+                               std::size_t batch) {
+        const std::vector<Cycle> &row = oracle_table[scenario];
+        if (batch >= 1 && batch <= row.size())
+            return row[batch - 1];
+        return oracle_direct(scenario, batch);
     });
 
     const std::uint32_t total_instances = config_.totalInstances();
-    std::vector<Cycle> free_at(total_instances, 0);
     std::vector<std::uint32_t> class_of(total_instances, 0);
     result.instances.resize(total_instances);
+
+    // Per-class ready lists keyed (last-freed cycle, instance id):
+    // each class's top is the instance the legacy linear scan would
+    // have picked within the class (least-recently-freed, then
+    // lowest id), and instance ids are assigned in class blocks, so
+    // comparing class representatives in class order reproduces the
+    // legacy whole-cluster scan byte-for-byte. Busy instances sit in
+    // one completion min-heap, making both "any instance free?" and
+    // "next completion event" O(log instances) instead of scans.
+    using InstanceKey = std::pair<Cycle, std::uint32_t>;
+    using InstanceMinHeap =
+        std::priority_queue<InstanceKey, std::vector<InstanceKey>,
+                            std::greater<InstanceKey>>;
+    std::vector<InstanceMinHeap> free_by_class(num_classes);
+    InstanceMinHeap completions;
+    std::size_t free_count = total_instances;
     {
         std::uint32_t next = 0;
         for (std::size_t c = 0; c < classes.size(); ++c)
@@ -253,124 +337,160 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                 result.instances[next].classIndex =
                     static_cast<std::uint32_t>(c);
                 class_of[next] = static_cast<std::uint32_t>(c);
+                free_by_class[c].push({Cycle{0}, next});
                 ++next;
             }
     }
 
-    std::size_t next_arrival = 0;
-    std::size_t served = 0;
+    const std::vector<TenantMix> tenants = resolvedTenants(config_);
+    std::optional<StreamingStatsSink> sink;
+    if (streaming)
+        sink.emplace(tenants.size(), num_classes,
+                     config_.statsReservoirCapacity, config_.seed,
+                     config_.statsFlushEveryRequests, &std::cerr);
+
+    std::uint64_t served = 0;
     Cycle now = 0;
 
-    while (served < stream.size()) {
-        while (next_arrival < stream.size() &&
-               stream[next_arrival].arrival <= now)
-            policy->admit(stream[next_arrival++]);
-        const bool drain = next_arrival == stream.size();
+    while (served < total_requests) {
+        // Release completions due by now back onto their class's
+        // ready list. The freed key keeps the completion cycle —
+        // exactly the legacy free_at value least-recently-freed ties
+        // compare.
+        while (!completions.empty() && completions.top().first <= now) {
+            const InstanceKey done = completions.top();
+            completions.pop();
+            free_by_class[class_of[done.second]].push(done);
+            ++free_count;
+        }
+        while (pending && pending->arrival <= now) {
+            policy->admit(*pending);
+            refill();
+        }
+        const bool drain = !pending;
 
         // Dispatch while a batch is formable and an instance is
         // free. The policy picks the batch; routing then picks,
-        // among free instances, the class the configured objective
-        // scores best at the batch's actual size.
+        // among classes with a free instance, the one the configured
+        // objective scores best at the batch's actual size.
         for (;;) {
-            if (!policy->ready(now, drain))
+            if (free_count == 0)
                 break;
-            bool any_free = false;
-            for (Cycle t : free_at)
-                any_free = any_free || t <= now;
-            if (!any_free)
+            if (!policy->ready(now, drain))
                 break;
 
             const std::vector<ServeRequest> members =
                 policy->pop(now, drain);
             const std::uint32_t scenario = members.front().scenario;
+            const std::size_t batch_size = members.size();
+            const std::size_t score_idx =
+                std::min(batch_size, max_batch) - 1;
 
-            // Among free instances, the configured objective scores
-            // each candidate class on the batch's priced service
-            // cycles and joules; ties break on service cycles, then
-            // least-recently-freed, then lowest id — under the
-            // default "cycles" objective exactly the legacy order.
-            // The incumbent's cost and score are carried across the
-            // loop (not re-priced per candidate), and score ties use
-            // compareScores' relative epsilon — or skip the double
-            // detour entirely when the objective *is* service cycles.
-            const bool raw_cycles = objective->scoresServiceCycles();
-            std::size_t inst = free_at.size();
+            // Among classes with a free instance, the configured
+            // objective scores each candidate on the batch's priced
+            // service cycles and joules — one precomputed-table
+            // lookup, never an objective call; ties break on service
+            // cycles, then the class representative's (last-freed,
+            // id) key — under the default "cycles" objective exactly
+            // the legacy order.
+            std::size_t best_class = num_classes;
             Cycle best = 0;
             double best_score = 0.0;
-            for (std::size_t i = 0; i < free_at.size(); ++i) {
-                if (free_at[i] > now)
+            InstanceKey best_rep{};
+            for (std::size_t c = 0; c < num_classes; ++c) {
+                if (free_by_class[c].empty())
                     continue;
-                const Cycle cost = curveAt(
-                    curves[class_of[i]][scenario], members.size());
+                const InstanceKey rep = free_by_class[c].top();
+                const Cycle cost =
+                    curveAt(curves[c][scenario], batch_size);
                 const double cost_score =
-                    raw_cycles ? 0.0
-                               : objective->score(
-                                     cost,
-                                     energyCurveAt(
-                                         energy[class_of[i]][scenario],
-                                         members.size()),
-                                     members.size(), clock_hz);
-                if (inst == free_at.size()) {
-                    inst = i;
+                    raw_cycles ? 0.0 : scores[c][scenario][score_idx];
+                if (best_class == num_classes) {
+                    best_class = c;
                     best = cost;
                     best_score = cost_score;
+                    best_rep = rep;
                     continue;
                 }
                 const int order =
-                    raw_cycles ? 0 : compareScores(cost_score, best_score);
+                    raw_cycles ? 0
+                               : compareScores(cost_score, best_score);
                 if (order < 0 ||
                     (order == 0 &&
                      (cost < best ||
-                      (cost == best && free_at[i] < free_at[inst])))) {
-                    inst = i;
+                      (cost == best && rep < best_rep)))) {
+                    best_class = c;
                     best = cost;
                     best_score = cost_score;
+                    best_rep = rep;
                 }
             }
 
-            const Cycle service = curveAt(
-                curves[class_of[inst]][scenario], members.size());
-            policy->onDispatch(members, service);
+            const std::uint32_t inst = best_rep.second;
+            free_by_class[best_class].pop();
+            --free_count;
 
-            BatchRecord batch;
-            batch.id = result.batches.size();
-            batch.scenario = scenario;
-            batch.instance = static_cast<std::uint32_t>(inst);
-            batch.dispatch = now;
-            batch.completion = now + service;
-            batch.joules = energyCurveAt(
-                energy[class_of[inst]][scenario], members.size());
-            for (const ServeRequest &member : members) {
-                RequestRecord &record = result.requests[member.id];
-                record.id = member.id;
-                record.tenant = member.tenant;
-                record.scenario = member.scenario;
-                record.arrival = member.arrival;
-                record.deadline = member.deadline;
-                record.dispatch = batch.dispatch;
-                record.completion = batch.completion;
-                record.instance = batch.instance;
-                record.batch = batch.id;
-                batch.requestIds.push_back(member.id);
+            const Cycle service = best;
+            policy->onDispatch(members, service);
+            const Cycle completion = now + service;
+            const double joules = energyCurveAt(
+                energy[best_class][scenario], batch_size);
+
+            if (streaming) {
+                sink->onBatch(now, completion, joules,
+                              static_cast<std::uint32_t>(best_class),
+                              members);
+            } else {
+                BatchRecord batch;
+                batch.id = result.batches.size();
+                batch.scenario = scenario;
+                batch.instance = inst;
+                batch.dispatch = now;
+                batch.completion = completion;
+                batch.joules = joules;
+                for (const ServeRequest &member : members) {
+                    // The record arena is indexed by request id;
+                    // RequestGenerator assigns ids densely, so this
+                    // only trips on a hand-built stream.
+                    if (member.id >= result.requests.size())
+                        throw std::invalid_argument(
+                            "serve: request id " +
+                            std::to_string(member.id) +
+                            " is out of range for a " +
+                            std::to_string(result.requests.size()) +
+                            "-request stream (ids must be dense and "
+                            "0-based)");
+                    RequestRecord &record = result.requests[member.id];
+                    record.id = member.id;
+                    record.tenant = member.tenant;
+                    record.scenario = member.scenario;
+                    record.arrival = member.arrival;
+                    record.deadline = member.deadline;
+                    record.dispatch = batch.dispatch;
+                    record.completion = batch.completion;
+                    record.instance = batch.instance;
+                    record.batch = batch.id;
+                    batch.requestIds.push_back(member.id);
+                }
+                result.batches.push_back(std::move(batch));
             }
 
             InstanceRecord &instance = result.instances[inst];
             ++instance.batches;
-            instance.requests += members.size();
+            instance.requests += batch_size;
             instance.busyCycles += service;
-            free_at[inst] = batch.completion;
-            result.makespan = std::max(result.makespan, batch.completion);
-            served += members.size();
-            result.batches.push_back(std::move(batch));
+            completions.push({completion, inst});
+            result.makespan = std::max(result.makespan, completion);
+            served += batch_size;
         }
-        if (served == stream.size())
+        if (served == total_requests)
             break;
 
         // Advance to the next event: an arrival, a queue-head batch
         // timeout, or an instance completion.
         Cycle next = kNeverCycle;
-        if (next_arrival < stream.size())
-            next = std::min(next, stream[next_arrival].arrival);
+        if (pending)
+            next = std::min(next, pending->arrival);
         if (!policy->empty()) {
             // A timeout already in the past made its queue ready; the
             // blocker is then a busy instance, so only future expiries
@@ -378,9 +498,8 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             const Cycle timeout = policy->nextTimeout();
             if (!drain && timeout > now)
                 next = std::min(next, timeout);
-            for (Cycle t : free_at)
-                if (t > now)
-                    next = std::min(next, t);
+            if (!completions.empty())
+                next = std::min(next, completions.top().first);
         }
         if (next == kNeverCycle || next <= now)
             throw std::logic_error("serve: scheduler cannot advance");
@@ -399,10 +518,14 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     for (const ClusterSpec::InstanceClass &cls : classes)
         class_labels.push_back(cls.label());
 
-    result.stats = computeServeStats(
-        result.requests, result.batches, result.instances,
-        result.makespan, result.clockHz, resolvedTenants(config_),
-        class_labels);
+    if (streaming)
+        result.stats =
+            sink->finish(result.instances, result.makespan,
+                         result.clockHz, tenants, class_labels);
+    else
+        result.stats = computeServeStats(
+            result.requests, result.batches, result.instances,
+            result.makespan, result.clockHz, tenants, class_labels);
     result.stats.deadlineCapsAvoided = policy->deadlineCapsAvoided();
     return result;
 }

@@ -104,6 +104,10 @@ ServeConfig::validate() const
     if (routeObjective.empty())
         throw std::invalid_argument(
             "serve: routeObjective name is empty");
+    if (streamingStats && statsReservoirCapacity == 0)
+        throw std::invalid_argument(
+            "serve: statsReservoirCapacity must be >= 1 when "
+            "streamingStats is set");
     arrival.validate();
 }
 

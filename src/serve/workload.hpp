@@ -220,6 +220,36 @@ struct ServeConfig
      */
     bool deadlineAwareBatching = true;
 
+    /**
+     * Stream aggregate stats instead of materializing per-request
+     * records: ServeResult.requests and .batches stay empty and
+     * ServeStats is folded batch-by-batch through a StreamingStatsSink
+     * (serve/stats_sink.hpp), so memory stays bounded at
+     * million-request scale. Percentiles come from a deterministic
+     * reservoir — exact while the request count fits
+     * statsReservoirCapacity, an unbiased estimate beyond it; every
+     * other stat matches the materialized path to accumulation-order
+     * noise. Off by default: the default path's results (and the
+     * checked-in goldens) are byte-identical to pre-sink builds.
+     */
+    bool streamingStats = false;
+
+    /**
+     * Latency samples each streaming reservoir retains (global and
+     * per-tenant). Runs at or below this many requests get exact
+     * percentiles; larger runs get a uniform-sample estimate.
+     * Ignored unless streamingStats is set.
+     */
+    std::uint64_t statsReservoirCapacity = 65536;
+
+    /**
+     * Progress pulse for streaming runs: every this-many served
+     * requests, print one running-stats line (requests, batches,
+     * mean latency, approximate p99) to stderr. 0 disables. Ignored
+     * unless streamingStats is set.
+     */
+    std::uint64_t statsFlushEveryRequests = 0;
+
     /** Instances across the cluster (classes, or the shorthand). */
     std::uint32_t totalInstances() const
     { return cluster.empty() ? instances : cluster.totalInstances(); }

@@ -303,6 +303,18 @@ toJson(const serve::ServeConfig &config)
     // opt-out configs are the ones that need to say so.
     if (!config.deadlineAwareBatching)
         out += ",\"deadline_aware_batching\":false";
+    // Streaming-sink knobs emit only when streaming is on (and then
+    // only off-default), so materialized configs — every golden —
+    // stay byte-identical.
+    if (config.streamingStats) {
+        out += ",\"streaming_stats\":true";
+        if (config.statsReservoirCapacity != 65536)
+            out += ",\"stats_reservoir_capacity\":" +
+                   std::to_string(config.statsReservoirCapacity);
+        if (config.statsFlushEveryRequests != 0)
+            out += ",\"stats_flush_every_requests\":" +
+                   std::to_string(config.statsFlushEveryRequests);
+    }
     // The arrival spec emits only off the default "poisson" process
     // (goldens stay byte-identical), and then only the selected
     // process's parameters. recordPath never emits: recording is an

@@ -17,6 +17,18 @@ csvSafe(const std::string &name)
            name.find('\r') == std::string::npos;
 }
 
+/** Non-empty and all decimal digits? */
+bool
+allDigits(const std::string &text)
+{
+    if (text.empty())
+        return false;
+    for (char c : text)
+        if (c < '0' || c > '9')
+            return false;
+    return true;
+}
+
 } // namespace
 
 // ---- TraceWriter ---------------------------------------------------
@@ -91,8 +103,26 @@ TraceReader::next()
                 ? std::string::npos
                 : text.find(',', first + 1);
         if (second == std::string::npos ||
-            text.find(',', second + 1) != std::string::npos)
+            text.find(',', second + 1) != std::string::npos) {
+            // A four-field line opening with two integers is almost
+            // certainly a hand-added id column
+            // (id,arrival,tenant,scenario). Replay assigns ids
+            // densely in record order — RequestRecord arenas index
+            // by id — so sparse or reordered explicit ids can never
+            // be honored; say so instead of the generic shape error.
+            const std::size_t third =
+                second == std::string::npos
+                    ? std::string::npos
+                    : text.find(',', second + 1);
+            if (third != std::string::npos &&
+                text.find(',', third + 1) == std::string::npos &&
+                allDigits(text.substr(0, first)) &&
+                allDigits(text.substr(first + 1, second - first - 1)))
+                fail("trace records carry no id column — request ids "
+                     "are assigned densely (0-based) in record order "
+                     "at replay; drop the leading id field");
             fail("expected arrival_cycle,tenant,scenario");
+        }
 
         const std::string arrival_text = text.substr(0, first);
         errno = 0;

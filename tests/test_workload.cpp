@@ -283,6 +283,49 @@ TEST(Trace, ReaderRejectsMalformedLine)
     std::remove(path.c_str());
 }
 
+TEST(Trace, ReaderRejectsHandAddedIdColumn)
+{
+    // A hand-edited trace with an id,arrival,tenant,scenario shape:
+    // ids can never be honored (replay assigns them densely in
+    // record order, and the scheduler's record arena indexes by id),
+    // so the reader must reject the column by name — a sparse id
+    // silently dropped here used to leave default-initialized
+    // records polluting latency stats.
+    const std::string path = writeTrace(
+        "id_column.csv", std::string(workload::kTraceHeader) +
+                             "\n7,100,default,cora/gcn\n");
+    workload::TraceReader reader(path);
+    try {
+        reader.next();
+        FAIL() << "expected the id column to be rejected";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what()).find("no id column"),
+                  std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
+TEST(Trace, ReaderStillRejectsFourTextFieldsGenerically)
+{
+    // Four fields that do not look like a leading id column get the
+    // plain shape error, not the id-column guidance.
+    const std::string path = writeTrace(
+        "four_text.csv", std::string(workload::kTraceHeader) +
+                             "\n100,default,cora/gcn,extra\n");
+    workload::TraceReader reader(path);
+    try {
+        reader.next();
+        FAIL() << "expected the malformed line to be rejected";
+    } catch (const std::runtime_error &error) {
+        EXPECT_NE(std::string(error.what())
+                      .find("expected arrival_cycle,tenant,scenario"),
+                  std::string::npos)
+            << error.what();
+    }
+    std::remove(path.c_str());
+}
+
 TEST(Trace, ReaderRejectsBackwardsArrivals)
 {
     const std::string path = writeTrace(
