@@ -59,8 +59,8 @@ curveConfig(DatasetId ds, const std::string &cost_model)
     scenario.spec.datasetScale = scaleOf(ds);
     scenario.spec.seed = kSeed;
     config.scenarios = {scenario};
-    config.maxBatch = kMaxBatch;
-    config.costModel = cost_model;
+    config.batching.maxBatch = kMaxBatch;
+    config.batching.costModel = cost_model;
     return config;
 }
 

@@ -167,7 +167,7 @@ main(int argc, char **argv)
     // timed region (one small materialized run), so every timed case
     // measures the event loop, not the accelerator model.
     serve::ServeConfig warm = scaleWorkload("fifo", 256);
-    warm.streamingStats = false;
+    warm.stats.streaming = false;
     serve::runServe(warm);
 
     std::printf("\nstream: heavy-tail, mean interarrival 30 kcycles, "

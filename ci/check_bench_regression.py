@@ -75,6 +75,15 @@ SCHEMAS = {
         # than host noise.
         ("series", "case", "sim_rps", "higher"),
     ),
+    "serve_powercap": (
+        # Flash crowd under a power cap: tail latency must not grow,
+        # the modeled peak draw must not creep toward (the bench
+        # itself hard-fails past) the cap, and cap-deferred
+        # placements must not multiply.
+        ("series", "case", "p99_latency_cycles", "lower"),
+        ("series", "case", "peak_cluster_watts", "lower"),
+        ("series", "case", "power_deferred_batches", "lower"),
+    ),
 }
 
 

@@ -4,6 +4,7 @@
 #include <cctype>
 #include <stdexcept>
 
+#include "serve/control_plane.hpp"
 #include "serve/cost_model.hpp"
 #include "serve/policy.hpp"
 #include "serve/route_objective.hpp"
@@ -112,6 +113,24 @@ Registry::Registry()
         "trace", [](const serve::ServeConfig &config) {
             return std::make_unique<workload::TraceArrivalProcess>(
                 config);
+        });
+    registerArrivalProcess(
+        "correlated", [](const serve::ServeConfig &config) {
+            return std::make_unique<workload::CorrelatedProcess>(
+                config);
+        });
+
+    registerScalingPolicy(
+        "static", [](const serve::ServeConfig &config) {
+            return std::make_unique<serve::StaticScaling>(config);
+        });
+    registerScalingPolicy(
+        "queue-depth", [](const serve::ServeConfig &config) {
+            return std::make_unique<serve::QueueDepthScaling>(config);
+        });
+    registerScalingPolicy(
+        "slo-burn", [](const serve::ServeConfig &config) {
+            return std::make_unique<serve::SloBurnScaling>(config);
         });
 
     for (DatasetId id : allDatasets()) {
@@ -448,6 +467,44 @@ Registry::arrivalProcessNames() const
 {
     std::lock_guard<std::mutex> lock(mutex_);
     return keysOf(arrivalProcesses_);
+}
+
+void
+Registry::registerScalingPolicy(const std::string &name,
+                                ScalingPolicyFactory factory)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    scalingPolicies_[lower(name)] = std::move(factory);
+}
+
+std::unique_ptr<serve::ScalingPolicy>
+Registry::makeScalingPolicy(const std::string &name,
+                            const serve::ServeConfig &config) const
+{
+    ScalingPolicyFactory factory;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        auto it = scalingPolicies_.find(lower(name));
+        if (it == scalingPolicies_.end())
+            throwUnknown("scaling policy", name,
+                         keysOf(scalingPolicies_));
+        factory = it->second;
+    }
+    return factory(config);
+}
+
+bool
+Registry::hasScalingPolicy(const std::string &name) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return scalingPolicies_.count(lower(name)) > 0;
+}
+
+std::vector<std::string>
+Registry::scalingPolicyNames() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return keysOf(scalingPolicies_);
 }
 
 } // namespace hygcn::api

@@ -19,9 +19,12 @@
  * "serve-smoke") are first-class scenarios too: registerWorkload()
  * makes one runnable via ServeSession::workload(name), serving
  * *scheduler policies* ("fifo", "edf", "fair-share") are pluggable
- * through registerPolicy()/makePolicy(), and *arrival processes*
+ * through registerPolicy()/makePolicy(), *arrival processes*
  * ("poisson", "diurnal", "flash-crowd", "mmpp", "heavy-tail",
- * "trace") through registerArrivalProcess()/makeArrivalProcess().
+ * "trace", "correlated") through
+ * registerArrivalProcess()/makeArrivalProcess(), and control-plane
+ * *scaling policies* ("static", "queue-depth", "slo-burn") through
+ * registerScalingPolicy()/makeScalingPolicy().
  */
 
 #ifndef HYGCN_API_REGISTRY_HPP
@@ -40,6 +43,7 @@
 namespace hygcn::serve {
 class BatchCostModel;
 class RouteObjective;
+class ScalingPolicy;
 class SchedulerPolicy;
 } // namespace hygcn::serve
 
@@ -75,6 +79,10 @@ class Registry
     /** Builds an arrival process for a serving config. */
     using ArrivalProcessFactory =
         std::function<std::unique_ptr<workload::ArrivalProcess>(
+            const serve::ServeConfig &)>;
+    /** Builds a control-plane autoscaling policy. */
+    using ScalingPolicyFactory =
+        std::function<std::unique_ptr<serve::ScalingPolicy>(
             const serve::ServeConfig &)>;
 
     /** Constructs a registry pre-loaded with the built-ins. */
@@ -161,6 +169,18 @@ class Registry
     bool hasArrivalProcess(const std::string &name) const;
     std::vector<std::string> arrivalProcessNames() const;
 
+    // ---- control-plane scaling policies ------------------------
+    void registerScalingPolicy(const std::string &name,
+                               ScalingPolicyFactory factory);
+    /** Build scaling policy @p name for @p config; throws
+     *  std::out_of_range with the known keys listed if the name is
+     *  unknown. */
+    std::unique_ptr<serve::ScalingPolicy>
+    makeScalingPolicy(const std::string &name,
+                      const serve::ServeConfig &config) const;
+    bool hasScalingPolicy(const std::string &name) const;
+    std::vector<std::string> scalingPolicyNames() const;
+
   private:
     template <class Map>
     static std::vector<std::string> keysOf(const Map &map);
@@ -176,6 +196,7 @@ class Registry
     std::map<std::string, CostModelFactory> costModels_;
     std::map<std::string, ObjectiveFactory> objectives_;
     std::map<std::string, ArrivalProcessFactory> arrivalProcesses_;
+    std::map<std::string, ScalingPolicyFactory> scalingPolicies_;
 };
 
 } // namespace hygcn::api

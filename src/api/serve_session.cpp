@@ -58,6 +58,20 @@ ServeSession::instanceClass(const std::string &name, std::uint32_t count,
 }
 
 ServeSession &
+ServeSession::instanceClass(const std::string &name, std::uint32_t count,
+                            std::uint32_t min_count,
+                            std::uint32_t max_count)
+{
+    serve::ClusterSpec::InstanceClass cls;
+    cls.platform = name;
+    cls.count = count;
+    cls.minCount = min_count;
+    cls.maxCount = max_count;
+    config_.cluster.classes.push_back(std::move(cls));
+    return *this;
+}
+
+ServeSession &
 ServeSession::policy(const std::string &name)
 {
     config_.policy = name;
@@ -180,30 +194,37 @@ ServeSession::recordTrace(const std::string &path)
 }
 
 ServeSession &
+ServeSession::batching(serve::BatchingSpec spec)
+{
+    config_.batching = std::move(spec);
+    return *this;
+}
+
+ServeSession &
 ServeSession::maxBatch(std::uint32_t size)
 {
-    config_.maxBatch = size;
+    config_.batching.maxBatch = size;
     return *this;
 }
 
 ServeSession &
 ServeSession::batchTimeout(Cycle cycles)
 {
-    config_.batchTimeoutCycles = cycles;
+    config_.batching.timeoutCycles = cycles;
     return *this;
 }
 
 ServeSession &
 ServeSession::batchMarginalFraction(double fraction)
 {
-    config_.batchMarginalFraction = fraction;
+    config_.batching.marginalFraction = fraction;
     return *this;
 }
 
 ServeSession &
 ServeSession::costModel(const std::string &name)
 {
-    config_.costModel = name;
+    config_.batching.costModel = name;
     return *this;
 }
 
@@ -217,28 +238,63 @@ ServeSession::routeObjective(const std::string &name)
 ServeSession &
 ServeSession::deadlineAwareBatching(bool on)
 {
-    config_.deadlineAwareBatching = on;
+    config_.batching.deadlineAware = on;
+    return *this;
+}
+
+ServeSession &
+ServeSession::stats(serve::StatsSpec spec)
+{
+    config_.stats = std::move(spec);
     return *this;
 }
 
 ServeSession &
 ServeSession::streamingStats(bool on)
 {
-    config_.streamingStats = on;
+    config_.stats.streaming = on;
     return *this;
 }
 
 ServeSession &
 ServeSession::statsReservoir(std::uint64_t capacity)
 {
-    config_.statsReservoirCapacity = capacity;
+    config_.stats.reservoirCapacity = capacity;
     return *this;
 }
 
 ServeSession &
 ServeSession::statsFlushEvery(std::uint64_t n)
 {
-    config_.statsFlushEveryRequests = n;
+    config_.stats.flushEveryRequests = n;
+    return *this;
+}
+
+ServeSession &
+ServeSession::control(serve::ControlPlaneSpec spec)
+{
+    config_.control = std::move(spec);
+    return *this;
+}
+
+ServeSession &
+ServeSession::scalingPolicy(const std::string &name)
+{
+    config_.control.scalingPolicy = name;
+    return *this;
+}
+
+ServeSession &
+ServeSession::powerCap(double watts)
+{
+    config_.control.powerCapWatts = watts;
+    return *this;
+}
+
+ServeSession &
+ServeSession::preemption(bool on)
+{
+    config_.control.preemption = on;
     return *this;
 }
 

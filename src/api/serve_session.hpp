@@ -117,7 +117,21 @@ class ServeSession
      *  trace, whatever process generates it. */
     ServeSession &recordTrace(const std::string &path);
 
+    /**
+     * Append an instance class with autoscaling bounds: the control
+     * plane may scale it between @p min_count and @p max_count
+     * replicas (0 pins the bound at @p count).
+     */
+    ServeSession &instanceClass(const std::string &name,
+                                std::uint32_t count,
+                                std::uint32_t min_count,
+                                std::uint32_t max_count);
+
     // ---- batching ----------------------------------------------
+    /** Replace the whole batching spec at once; the granular setters
+     *  below adjust single knobs on it. */
+    ServeSession &batching(serve::BatchingSpec spec);
+
     ServeSession &maxBatch(std::uint32_t size);
     ServeSession &batchTimeout(Cycle cycles);
     ServeSession &batchMarginalFraction(double fraction);
@@ -136,6 +150,10 @@ class ServeSession
     ServeSession &deadlineAwareBatching(bool on = true);
 
     // ---- streaming stats ---------------------------------------
+    /** Replace the whole stats spec at once; the granular setters
+     *  below adjust single knobs on it. */
+    ServeSession &stats(serve::StatsSpec spec);
+
     /** Stream aggregate stats through a StreamingStatsSink instead
      *  of materializing per-request records, so memory stays bounded
      *  at million-request scale (ServeConfig::streamingStats);
@@ -149,6 +167,25 @@ class ServeSession
     /** Print one running-stats line to stderr every @p n served
      *  requests during a streaming run (0 disables). */
     ServeSession &statsFlushEvery(std::uint64_t n);
+
+    // ---- control plane -----------------------------------------
+    /** Replace the whole control-plane spec at once; the granular
+     *  setters below adjust single knobs on it. */
+    ServeSession &control(serve::ControlPlaneSpec spec);
+
+    /** Registry key of the autoscaling policy ("static",
+     *  "queue-depth", "slo-burn"). */
+    ServeSession &scalingPolicy(const std::string &name);
+
+    /** Cluster-wide modeled power budget in watts (0 = uncapped):
+     *  routing skips classes whose batch would push the summed draw
+     *  over the cap, and admission defers head-of-line batches no
+     *  class can take. */
+    ServeSession &powerCap(double watts);
+
+    /** Checkpoint-displace a running bulk batch when a tight-deadline
+     *  arrival would otherwise miss (EDF-policy clusters). */
+    ServeSession &preemption(bool on = true);
 
     /** The accumulated config. */
     serve::ServeConfig &config() { return config_; }

@@ -95,6 +95,20 @@ ServeSweep::arrivalProcesses(std::vector<std::string> names)
 }
 
 ServeSweep &
+ServeSweep::scalingPolicies(std::vector<std::string> names)
+{
+    scalingPolicies_ = std::move(names);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::powerCapsWatts(std::vector<double> watts)
+{
+    powerCapsWatts_ = std::move(watts);
+    return *this;
+}
+
+ServeSweep &
 ServeSweep::seeds(std::vector<std::uint64_t> seeds)
 {
     seeds_ = std::move(seeds);
@@ -118,6 +132,8 @@ ServeSweep::size() const
            std::max<std::size_t>(maxBatches_.size(), 1) *
            std::max<std::size_t>(arrivalRates_.size(), 1) *
            std::max<std::size_t>(arrivalProcesses_.size(), 1) *
+           std::max<std::size_t>(scalingPolicies_.size(), 1) *
+           std::max<std::size_t>(powerCapsWatts_.size(), 1) *
            std::max<std::size_t>(seeds_.size(), 1);
 }
 
@@ -129,8 +145,9 @@ ServeSweep::expand() const
         policies_.empty() ? std::vector<std::string>{base_.policy}
                           : policies_;
     const std::vector<std::string> cost_models =
-        costModels_.empty() ? std::vector<std::string>{base_.costModel}
-                            : costModels_;
+        costModels_.empty()
+            ? std::vector<std::string>{base_.batching.costModel}
+            : costModels_;
     const std::vector<std::string> objectives =
         objectives_.empty()
             ? std::vector<std::string>{base_.routeObjective}
@@ -139,8 +156,9 @@ ServeSweep::expand() const
         clusters_.empty() ? std::vector<serve::ClusterSpec>{base_.cluster}
                           : clusters_;
     const std::vector<std::uint32_t> max_batches =
-        maxBatches_.empty() ? std::vector<std::uint32_t>{base_.maxBatch}
-                            : maxBatches_;
+        maxBatches_.empty()
+            ? std::vector<std::uint32_t>{base_.batching.maxBatch}
+            : maxBatches_;
     const std::vector<double> rates =
         arrivalRates_.empty()
             ? std::vector<double>{base_.meanInterarrivalCycles}
@@ -149,6 +167,14 @@ ServeSweep::expand() const
         arrivalProcesses_.empty()
             ? std::vector<std::string>{base_.arrival.process}
             : arrivalProcesses_;
+    const std::vector<std::string> scaling_policies =
+        scalingPolicies_.empty()
+            ? std::vector<std::string>{base_.control.scalingPolicy}
+            : scalingPolicies_;
+    const std::vector<double> power_caps =
+        powerCapsWatts_.empty()
+            ? std::vector<double>{base_.control.powerCapWatts}
+            : powerCapsWatts_;
     const std::vector<std::uint64_t> seeds =
         seeds_.empty() ? std::vector<std::uint64_t>{base_.seed}
                        : seeds_;
@@ -162,20 +188,35 @@ ServeSweep::expand() const
                     for (std::uint32_t max_batch : max_batches)
                         for (double rate : rates)
                             for (const std::string &process : processes)
-                                for (std::uint64_t seed : seeds) {
-                                    serve::ServeConfig config = base_;
-                                    config.policy = policy;
-                                    config.costModel = cost_model;
-                                    config.routeObjective = objective;
-                                    config.cluster = cluster;
-                                    config.maxBatch = max_batch;
-                                    config.meanInterarrivalCycles =
-                                        rate;
-                                    config.arrival.process = process;
-                                    config.seed = seed;
-                                    configs.push_back(
-                                        std::move(config));
-                                }
+                                for (const std::string &scaling :
+                                     scaling_policies)
+                                    for (double cap : power_caps)
+                                        for (std::uint64_t seed :
+                                             seeds) {
+                                            serve::ServeConfig config =
+                                                base_;
+                                            config.policy = policy;
+                                            config.batching.costModel =
+                                                cost_model;
+                                            config.routeObjective =
+                                                objective;
+                                            config.cluster = cluster;
+                                            config.batching.maxBatch =
+                                                max_batch;
+                                            config
+                                                .meanInterarrivalCycles =
+                                                rate;
+                                            config.arrival.process =
+                                                process;
+                                            config.control
+                                                .scalingPolicy =
+                                                scaling;
+                                            config.control
+                                                .powerCapWatts = cap;
+                                            config.seed = seed;
+                                            configs.push_back(
+                                                std::move(config));
+                                        }
     return configs;
 }
 

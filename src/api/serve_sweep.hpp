@@ -5,7 +5,8 @@
  * a base ServeConfig (or a ServeSession under construction) and
  * varies scheduling policy x batch cost model x routing objective x
  * cluster shape x max batch size x arrival rate x arrival process x
- * seed, executing the expansion on a std::thread worker pool:
+ * scaling policy x power cap x seed, executing the expansion on a
+ * std::thread worker pool:
  *
  *   auto results = ServeSweep(session.config())
  *                      .policies({"fifo", "edf"})
@@ -116,6 +117,13 @@ class ServeSweep
      *  ...); each keeps the base's ArrivalSpec parameters. */
     ServeSweep &arrivalProcesses(std::vector<std::string> names);
 
+    /** Autoscaling-policy registry names ("static", "queue-depth",
+     *  "slo-burn"); each keeps the base's ControlPlaneSpec knobs. */
+    ServeSweep &scalingPolicies(std::vector<std::string> names);
+
+    /** Cluster-wide power caps in watts (0 = uncapped). */
+    ServeSweep &powerCapsWatts(std::vector<double> watts);
+
     /**
      * Seed replicates, innermost axis: every other sweep point runs
      * once per seed, and runAggregated() folds the replicates into
@@ -133,7 +141,8 @@ class ServeSweep
      * Expand the cartesian product into concrete configs, in
      * deterministic declaration order: policies outermost, then cost
      * models, objectives, clusters, max batch sizes, arrival rates,
-     * arrival processes, and seed replicates innermost.
+     * arrival processes, scaling policies, power caps, and seed
+     * replicates innermost.
      */
     std::vector<serve::ServeConfig> expand() const;
 
@@ -162,6 +171,8 @@ class ServeSweep
     std::vector<std::uint32_t> maxBatches_;
     std::vector<double> arrivalRates_;
     std::vector<std::string> arrivalProcesses_;
+    std::vector<std::string> scalingPolicies_;
+    std::vector<double> powerCapsWatts_;
     std::vector<std::uint64_t> seeds_;
     unsigned threads_ = 0;
 };

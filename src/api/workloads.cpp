@@ -46,8 +46,8 @@ smoke()
     config.meanInterarrivalCycles = 40000.0;
     config.seed = 20200222;
     config.instances = 2;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 100000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 100000;
     return config;
 }
 
@@ -65,8 +65,8 @@ steady()
     config.meanInterarrivalCycles = 300000.0;
     config.seed = 20200222;
     config.instances = 4;
-    config.maxBatch = 8;
-    config.batchTimeoutCycles = 600000;
+    config.batching.maxBatch = 8;
+    config.batching.timeoutCycles = 600000;
     return config;
 }
 
@@ -90,8 +90,8 @@ bursty()
     config.meanInterarrivalCycles = 200000.0;
     config.seed = 20200222;
     config.instances = 4;
-    config.maxBatch = 8;
-    config.batchTimeoutCycles = 300000;
+    config.batching.maxBatch = 8;
+    config.batching.timeoutCycles = 300000;
     return config;
 }
 
@@ -114,8 +114,8 @@ adversarialBase()
     config.meanInterarrivalCycles = 40000.0;
     config.seed = 20200222;
     config.instances = 2;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 100000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 100000;
     return config;
 }
 

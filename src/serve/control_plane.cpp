@@ -1,0 +1,49 @@
+#include "serve/control_plane.hpp"
+
+namespace hygcn::serve {
+
+StaticScaling::StaticScaling(const ServeConfig &)
+{
+}
+
+int
+StaticScaling::delta(const ScalingSignals &)
+{
+    return 0;
+}
+
+QueueDepthScaling::QueueDepthScaling(const ServeConfig &config)
+    : high_(config.control.queueDepthHigh),
+      low_(config.control.queueDepthLow)
+{
+}
+
+int
+QueueDepthScaling::delta(const ScalingSignals &signals)
+{
+    if (signals.depthPerReplica() > high_)
+        return 1;
+    if (signals.depthPerReplica() < low_ && signals.freeReplicas > 0)
+        return -1;
+    return 0;
+}
+
+SloBurnScaling::SloBurnScaling(const ServeConfig &config)
+    : burnHigh_(config.control.sloBurnHigh),
+      depthLow_(config.control.queueDepthLow)
+{
+}
+
+int
+SloBurnScaling::delta(const ScalingSignals &signals)
+{
+    if (signals.burnRate() > burnHigh_)
+        return 1;
+    if (signals.windowMissed == 0 &&
+        signals.depthPerReplica() < depthLow_ &&
+        signals.freeReplicas > 0)
+        return -1;
+    return 0;
+}
+
+} // namespace hygcn::serve

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * The cluster control plane: pluggable ScalingPolicy implementations
+ * evaluated on the scheduler's event timeline. At each control tick
+ * the Scheduler snapshots per-class ScalingSignals (queue depth,
+ * SLO burn rate over the last window, replica occupancy) and asks the
+ * configured policy for a replica delta; the scheduler then applies
+ * it with modeled warm-up and drain costs (scale-ups come online
+ * warmupCycles later; scale-downs finish their in-flight batch and
+ * park drainCycles after completion). Three built-ins, selected by
+ * name through the api::Registry:
+ *
+ *  - "static": never scales — the default, byte-identical to the
+ *    pre-control-plane scheduler.
+ *  - "queue-depth": scale up when queued requests per active replica
+ *    cross queueDepthHigh, down below queueDepthLow.
+ *  - "slo-burn": scale up when the fraction of requests dispatched
+ *    past-deadline in the last window crosses sloBurnHigh; scale
+ *    down on an idle window (no misses, queue below queueDepthLow).
+ *
+ * The power cap and batch preemption halves of ControlPlaneSpec are
+ * enforced inline by the Scheduler (serve/scheduler.cpp); this header
+ * only models the autoscaling decision.
+ */
+
+#ifndef HYGCN_SERVE_CONTROL_PLANE_HPP
+#define HYGCN_SERVE_CONTROL_PLANE_HPP
+
+#include <cstdint>
+#include <string>
+
+#include "serve/workload.hpp"
+
+namespace hygcn::serve {
+
+/**
+ * Snapshot of one instance class at a control tick. Queue depth is
+ * cluster-global (policies queue per scenario, not per class), so
+ * every class sees the same queuedRequests; occupancy and window
+ * counters are per class.
+ */
+struct ScalingSignals
+{
+    /** Control-tick time, cluster cycles. */
+    Cycle now = 0;
+
+    /** Requests queued cluster-wide and not yet dispatched. */
+    std::uint64_t queuedRequests = 0;
+
+    /** Replicas of this class serving or warming (counts toward the
+     *  class's capacity commitment). */
+    std::uint32_t activeReplicas = 0;
+
+    /** Active replicas currently idle (free to dispatch). */
+    std::uint32_t freeReplicas = 0;
+
+    /** Autoscaling floor/ceiling resolved for this class. */
+    std::uint32_t minReplicas = 0;
+    std::uint32_t maxReplicas = 0;
+
+    /** Requests dispatched cluster-wide since the last tick... */
+    std::uint64_t windowDispatched = 0;
+
+    /** ...and how many of those were already past their deadline at
+     *  the predicted completion (the SLO burn numerator). */
+    std::uint64_t windowMissed = 0;
+
+    /** Queued requests per active replica (0 when none active). */
+    double depthPerReplica() const
+    {
+        return activeReplicas == 0
+                   ? static_cast<double>(queuedRequests)
+                   : static_cast<double>(queuedRequests) /
+                         static_cast<double>(activeReplicas);
+    }
+
+    /** windowMissed / windowDispatched (0 for an empty window). */
+    double burnRate() const
+    {
+        return windowDispatched == 0
+                   ? 0.0
+                   : static_cast<double>(windowMissed) /
+                         static_cast<double>(windowDispatched);
+    }
+};
+
+/**
+ * Autoscaling decision function. delta() returns the signed replica
+ * adjustment the policy wants for one class this tick; the Scheduler
+ * clamps it into [minReplicas, maxReplicas] and applies warm-up and
+ * drain costs, so policies reason about *desired* capacity only.
+ */
+class ScalingPolicy
+{
+  public:
+    virtual ~ScalingPolicy() = default;
+
+    /** Registry key this policy answers to. */
+    virtual std::string name() const = 0;
+
+    /** Signed replica delta desired for the class (+1/0/-1 style;
+     *  magnitudes beyond 1 are honored up to the clamp). */
+    virtual int delta(const ScalingSignals &signals) = 0;
+};
+
+/** Never scales: the pre-control-plane fixed cluster. */
+class StaticScaling : public ScalingPolicy
+{
+  public:
+    explicit StaticScaling(const ServeConfig &config);
+
+    std::string name() const override { return "static"; }
+    int delta(const ScalingSignals &signals) override;
+};
+
+/**
+ * Queue-depth watermarks: one replica up when queued requests per
+ * active replica cross ControlPlaneSpec::queueDepthHigh, one down
+ * when they fall below queueDepthLow (and at least one replica is
+ * idle, so the scale-down drains nothing useful).
+ */
+class QueueDepthScaling : public ScalingPolicy
+{
+  public:
+    explicit QueueDepthScaling(const ServeConfig &config);
+
+    std::string name() const override { return "queue-depth"; }
+    int delta(const ScalingSignals &signals) override;
+
+  private:
+    double high_;
+    double low_;
+};
+
+/**
+ * SLO-burn-rate scaling: one replica up when the fraction of
+ * requests dispatched past their deadline over the last control
+ * window crosses ControlPlaneSpec::sloBurnHigh; one replica down on
+ * a calm window — no misses and queue depth below queueDepthLow —
+ * with an idle replica to retire.
+ */
+class SloBurnScaling : public ScalingPolicy
+{
+  public:
+    explicit SloBurnScaling(const ServeConfig &config);
+
+    std::string name() const override { return "slo-burn"; }
+    int delta(const ScalingSignals &signals) override;
+
+  private:
+    double burnHigh_;
+    double depthLow_;
+};
+
+} // namespace hygcn::serve
+
+#endif // HYGCN_SERVE_CONTROL_PLANE_HPP

@@ -56,7 +56,7 @@ MarginalCostModel::priceKey(const ServeConfig &config) const
     // (and therefore cache) separately.
     char buf[48];
     std::snprintf(buf, sizeof(buf), "%.17g",
-                  config.batchMarginalFraction);
+                  config.batching.marginalFraction);
     return std::string("fraction=") + buf;
 }
 

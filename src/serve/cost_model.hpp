@@ -2,7 +2,7 @@
  * @file
  * Pluggable batch cost models. A BatchCostModel turns one priced
  * (instance class, scenario) pair into a full cost curve cycles(B)
- * for B = 1..maxBatch, replacing the old single hand-tuned marginal
+ * for B = 1..batching.maxBatch, replacing the old single hand-tuned marginal
  * fraction. Three built-ins, selected by name through the
  * api::Registry ("marginal", "analytic", "measured"):
  *
@@ -62,7 +62,7 @@ struct CostModelInputs
      */
     Cycle weightLoadCycles = 0;
 
-    /** Curve length: cycles(B) for B = 1..maxBatch. */
+    /** Curve length: cycles(B) for B = 1..batching.maxBatch. */
     std::uint32_t maxBatch = 1;
 
     /** ServeConfig::batchMarginalFraction (the "marginal" knob). */
@@ -114,7 +114,7 @@ class BatchCostModel
 
     /**
      * The cost curve: element b-1 holds the service cycles of a
-     * batch of b requests, for b = 1..maxBatch, in the same clock as
+     * batch of b requests, for b = 1..batching.maxBatch, in the same clock as
      * the inputs. Must anchor at in.unitCycles, be monotone
      * non-decreasing, and stay <= b * unit.
      */
@@ -122,7 +122,7 @@ class BatchCostModel
 
     /**
      * The energy twin: element b-1 holds the joules a batch of b
-     * requests consumes, for b = 1..maxBatch. Must anchor at
+     * requests consumes, for b = 1..batching.maxBatch. Must anchor at
      * in.unitJoules, be monotone non-decreasing, and stay
      * <= b * unitJoules. The default scales the unit energy by the
      * marginal fraction (the "marginal" pricing), so out-of-tree

@@ -72,8 +72,8 @@ Batcher::nextTimeout() const
     Cycle next = kNever;
     for (const auto &queue : queues_)
         if (!queue.empty())
-            next = std::min(next,
-                            satAddCycles(queue.front().arrival, timeoutCycles_));
+            next = std::min(next, satAddCycles(queue.front().arrival,
+                                              timeoutCycles_));
     return next;
 }
 
@@ -99,10 +99,18 @@ SchedulerPolicy::deadlineCapsAvoided() const
     return 0;
 }
 
+SchedulerPolicy::HeadPeek
+SchedulerPolicy::peekHead(Cycle now, bool drain) const
+{
+    (void)now;
+    (void)drain;
+    return HeadPeek{};
+}
+
 // ---- FifoPolicy ----------------------------------------------------
 
 FifoPolicy::FifoPolicy(const ServeConfig &config)
-    : batcher_(config.maxBatch, config.batchTimeoutCycles,
+    : batcher_(config.batching.maxBatch, config.batching.timeoutCycles,
                config.scenarios.size())
 {
 }
@@ -140,8 +148,9 @@ FifoPolicy::nextTimeout() const
 // ---- EdfPolicy -----------------------------------------------------
 
 EdfPolicy::EdfPolicy(const ServeConfig &config)
-    : maxBatch_(config.maxBatch), timeoutCycles_(config.batchTimeoutCycles),
-      deadlineAware_(config.deadlineAwareBatching),
+    : maxBatch_(config.batching.maxBatch),
+      timeoutCycles_(config.batching.timeoutCycles),
+      deadlineAware_(config.batching.deadlineAware),
       queues_(config.scenarios.size()),
       oldestArrival_(config.scenarios.size(), kNeverCycle)
 {
@@ -293,6 +302,34 @@ EdfPolicy::pop(Cycle now, bool drain)
     return batch;
 }
 
+SchedulerPolicy::HeadPeek
+EdfPolicy::peekHead(Cycle now, bool drain) const
+{
+    // Mirror pop()'s queue selection without mutating anything: the
+    // ready queue whose head deadline is earliest (ties: arrival).
+    std::size_t best = queues_.size();
+    for (std::size_t i = 0; i < queues_.size(); ++i) {
+        if (!queueReady(i, now, drain))
+            continue;
+        if (best == queues_.size())
+            best = i;
+        else {
+            const ServeRequest &a = queues_[i].front();
+            const ServeRequest &b = queues_[best].front();
+            if (a.deadline < b.deadline ||
+                (a.deadline == b.deadline && a.arrival < b.arrival))
+                best = i;
+        }
+    }
+    if (best == queues_.size())
+        return HeadPeek{};
+    HeadPeek peek;
+    peek.deadline = queues_[best].front().deadline;
+    peek.scenario = static_cast<std::uint32_t>(best);
+    peek.valid = true;
+    return peek;
+}
+
 Cycle
 EdfPolicy::nextTimeout() const
 {
@@ -307,7 +344,8 @@ EdfPolicy::nextTimeout() const
 // ---- FairSharePolicy -----------------------------------------------
 
 FairSharePolicy::FairSharePolicy(const ServeConfig &config)
-    : maxBatch_(config.maxBatch), timeoutCycles_(config.batchTimeoutCycles),
+    : maxBatch_(config.batching.maxBatch),
+      timeoutCycles_(config.batching.timeoutCycles),
       numScenarios_(config.scenarios.size())
 {
     const std::vector<TenantMix> tenants = resolvedTenants(config);
@@ -395,8 +433,8 @@ FairSharePolicy::nextTimeout() const
     Cycle next = kNeverCycle;
     for (const auto &queue : queues_)
         if (!queue.empty())
-            next = std::min(next,
-                            satAddCycles(queue.front().arrival, timeoutCycles_));
+            next = std::min(next, satAddCycles(queue.front().arrival,
+                                              timeoutCycles_));
     return next;
 }
 

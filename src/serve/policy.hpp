@@ -156,6 +156,28 @@ class SchedulerPolicy
      * the feature.
      */
     virtual std::uint64_t deadlineCapsAvoided() const;
+
+    /** What pop() would dispatch next, without popping it. */
+    struct HeadPeek
+    {
+        /** Deadline of the head request (kNeverCycle if none). */
+        Cycle deadline = kNeverCycle;
+
+        /** Scenario of the would-be batch. */
+        std::uint32_t scenario = 0;
+
+        /** False when the policy cannot (or does not) peek. */
+        bool valid = false;
+    };
+
+    /**
+     * Peek the request pop(now, drain) would dispatch first, for the
+     * scheduler's preemption trigger: is the tightest queued deadline
+     * about to burn while every instance grinds a bulk batch? The
+     * default (and any policy without deadline ordering) declines by
+     * returning an invalid peek, which disables preemption.
+     */
+    virtual HeadPeek peekHead(Cycle now, bool drain) const;
 };
 
 /** The original FIFO oldest-head batching, as a policy. */
@@ -209,6 +231,7 @@ class EdfPolicy : public SchedulerPolicy
                     Cycle service_cycles) override;
     void bindCostOracle(CostOracle oracle) override;
     std::uint64_t deadlineCapsAvoided() const override;
+    HeadPeek peekHead(Cycle now, bool drain) const override;
 
   private:
     bool queueReady(std::size_t scenario, Cycle now, bool drain) const;

@@ -91,7 +91,7 @@ PricedScenarioCache::priceCurve(const std::string &platform,
     // Resolve the model before the slot: an unknown cost-model name
     // is registry state, and must stay retryable after registration.
     const std::unique_ptr<BatchCostModel> model =
-        api::Registry::global().makeCostModel(config.costModel);
+        api::Registry::global().makeCostModel(config.batching.costModel);
     rejectUnresolvable(platform, keyed);
 
     std::string key = toJson(keyed);
@@ -99,7 +99,7 @@ PricedScenarioCache::priceCurve(const std::string &platform,
     const std::string extra = model->priceKey(config);
     if (!extra.empty())
         key += "#" + extra;
-    key += "#max_batch=" + std::to_string(config.maxBatch);
+    key += "#max_batch=" + std::to_string(config.batching.maxBatch);
 
     std::shared_ptr<Entry> entry = slot(key);
     std::call_once(entry->once, [&] {
@@ -115,8 +115,8 @@ PricedScenarioCache::priceCurve(const std::string &platform,
             in.weightLoadCycles = unit.weightLoadCycles;
             in.unitJoules = unit.unitJoules();
             in.weightLoadJoules = unit.weightLoadJoules;
-            in.maxBatch = config.maxBatch;
-            in.marginalFraction = config.batchMarginalFraction;
+            in.maxBatch = config.batching.maxBatch;
+            in.marginalFraction = config.batching.marginalFraction;
             in.measuredCycles = [&](std::uint32_t copies) {
                 api::RunSpec batched = keyed;
                 batched.batchCopies = copies;

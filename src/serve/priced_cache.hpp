@@ -41,7 +41,7 @@ class PricedScenarioCache
   public:
     /**
      * One priced scenario at a clock: the cost curve cycles(B) for
-     * B = 1..maxBatch (a unit entry is the length-1 curve), plus the
+     * B = 1..batching.maxBatch (a unit entry is the length-1 curve), plus the
      * unit run's batch-invariant weight-load phase the analytic
      * model amortizes.
      */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <functional>
 #include <iostream>
 #include <map>
@@ -11,6 +12,7 @@
 #include <utility>
 
 #include "api/registry.hpp"
+#include "serve/control_plane.hpp"
 #include "serve/cost_model.hpp"
 #include "serve/priced_cache.hpp"
 #include "serve/route_objective.hpp"
@@ -83,6 +85,8 @@ Scheduler::resolveClasses() const
     ClusterSpec::InstanceClass homogeneous;
     homogeneous.platform = config_.platform;
     homogeneous.count = config_.instances;
+    homogeneous.minCount = config_.control.minInstances;
+    homogeneous.maxCount = config_.control.maxInstances;
     return {homogeneous};
 }
 
@@ -137,7 +141,7 @@ Scheduler::run(const api::Platform &platform) const
             "clusters only (use the registry path for a ClusterSpec)");
 
     const std::unique_ptr<BatchCostModel> model =
-        api::Registry::global().makeCostModel(config_.costModel);
+        api::Registry::global().makeCostModel(config_.batching.costModel);
 
     CostCurves curves(1);
     EnergyCurves energy(1);
@@ -154,8 +158,8 @@ Scheduler::run(const api::Platform &platform) const
         in.weightLoadCycles = run.report.combWeightLoadCycles;
         in.unitJoules = run.report.joules();
         in.weightLoadJoules = run.report.weightLoadJoules();
-        in.maxBatch = config_.maxBatch;
-        in.marginalFraction = config_.batchMarginalFraction;
+        in.maxBatch = config_.batching.maxBatch;
+        in.marginalFraction = config_.batching.marginalFraction;
         // One co-batch run serves both curves (the registry path gets
         // the same sharing from the PricedScenarioCache).
         std::map<std::uint32_t, SimReport> co_batch;
@@ -211,7 +215,7 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     // contiguous RequestRecord vector indexed by request id,
     // preallocated once; streaming runs skip it entirely.
     const std::uint64_t total_requests = config_.numRequests;
-    const bool streaming = config_.streamingStats;
+    const bool streaming = config_.stats.streaming;
     if (!streaming)
         result.requests.resize(total_requests);
 
@@ -235,7 +239,7 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
 
     const std::size_t num_classes = curves.size();
     const std::size_t num_scenarios = config_.scenarios.size();
-    const std::size_t max_batch = config_.maxBatch;
+    const std::size_t max_batch = config_.batching.maxBatch;
     const bool raw_cycles = objective->scoresServiceCycles();
 
     // Objective scores depend only on (class, scenario, batch size),
@@ -266,7 +270,7 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     // curve, so deadline-aware batch sizing budgets against where
     // the batch will actually land instead of a class routing would
     // never choose. Answers for the policy-reachable sizes
-    // (1..maxBatch) precompute into a table; anything else falls
+    // (1..batching.maxBatch) precompute into a table; anything else falls
     // back to the direct scan.
     const RouteObjective *scorer = objective.get();
     auto oracle_direct = [&curves, &energy, scorer, clock_hz](
@@ -310,9 +314,77 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
         return oracle_direct(scenario, batch);
     });
 
-    const std::uint32_t total_instances = config_.totalInstances();
+    // ---- control plane ---------------------------------------------
+    // All of it compiles down to no-ops when control.enabled() is
+    // false: every branch below is gated, so the default path runs
+    // the exact legacy event sequence (and the checked-in goldens
+    // stay byte-identical).
+    const ControlPlaneSpec &control = config_.control;
+    const bool control_on = control.enabled();
+    const bool scaling_on =
+        control_on && control.scalingPolicy != "static";
+    const bool cap_on = control_on && control.powerCapWatts > 0.0;
+    const bool preempt_on = control_on && control.preemption;
+    const double cap_watts = control.powerCapWatts;
+
+    // Cycle-valued control knobs resolve against the mean
+    // interarrival gap, like ArrivalSpec's, so presets scale with
+    // their load level.
+    const double mean_gap =
+        std::max(config_.meanInterarrivalCycles, 1.0);
+    auto resolve_cycles = [mean_gap](Cycle configured, double factor) {
+        if (configured > 0)
+            return configured;
+        return std::max<Cycle>(
+            1, static_cast<Cycle>(std::llround(factor * mean_gap)));
+    };
+    const Cycle control_interval =
+        resolve_cycles(control.intervalCycles, 16.0);
+    const Cycle warmup_cycles = resolve_cycles(control.warmupCycles, 8.0);
+    const Cycle drain_cycles = resolve_cycles(control.drainCycles, 4.0);
+
+    std::unique_ptr<ScalingPolicy> scaler;
+    if (scaling_on)
+        scaler = api::Registry::global().makeScalingPolicy(
+            control.scalingPolicy, config_);
+
+    // Per-class replica bounds. The instance arena is laid out at
+    // each class's ceiling so autoscaling never reindexes anything;
+    // replicas beyond the initial count start Parked. With the
+    // control plane off every ceiling equals the configured count
+    // and the layout is exactly the legacy one.
+    std::vector<std::uint32_t> min_rep(num_classes);
+    std::vector<std::uint32_t> max_rep(num_classes);
+    std::vector<std::uint32_t> init_rep(num_classes);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        init_rep[c] = classes[c].count;
+        min_rep[c] = scaling_on && classes[c].minCount
+                         ? classes[c].minCount
+                         : classes[c].count;
+        max_rep[c] = scaling_on && classes[c].maxCount
+                         ? classes[c].maxCount
+                         : classes[c].count;
+        if (!scaling_on)
+            min_rep[c] = max_rep[c] = classes[c].count;
+    }
+    std::uint32_t total_instances = 0;
+    std::vector<std::uint32_t> class_start(num_classes, 0);
+    for (std::size_t c = 0; c < num_classes; ++c) {
+        class_start[c] = total_instances;
+        total_instances += max_rep[c];
+    }
     std::vector<std::uint32_t> class_of(total_instances, 0);
     result.instances.resize(total_instances);
+
+    /** Replica lifecycle under the control plane. Without it every
+     *  instance just alternates Idle/Busy. */
+    enum class InstState : std::uint8_t {
+        Idle,     ///< active, free to dispatch (on its class heap)
+        Busy,     ///< active, serving a batch
+        Warming,  ///< scale-up in flight; online at warm_ready
+        Draining, ///< serving its last batch, parks at completion
+        Parked,   ///< offline capacity (above the active count)
+    };
 
     // Per-class ready lists keyed (last-freed cycle, instance id):
     // each class's top is the instance the legacy linear scan would
@@ -322,32 +394,93 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     // legacy whole-cluster scan byte-for-byte. Busy instances sit in
     // one completion min-heap, making both "any instance free?" and
     // "next completion event" O(log instances) instead of scans.
+    //
+    // Replica churn invalidates heap entries lazily: a free entry is
+    // live only while its key equals last_freed[id] and the instance
+    // is still Idle; a completion entry only while its key equals
+    // expected_completion[id] (warm-ups ride the completion heap as
+    // pseudo-completions validated against warm_ready[id]). Stale
+    // entries pop and drop. With the control plane off no entry is
+    // ever invalidated, so nothing is ever pruned.
     using InstanceKey = std::pair<Cycle, std::uint32_t>;
     using InstanceMinHeap =
         std::priority_queue<InstanceKey, std::vector<InstanceKey>,
                             std::greater<InstanceKey>>;
     std::vector<InstanceMinHeap> free_by_class(num_classes);
     InstanceMinHeap completions;
-    std::size_t free_count = total_instances;
+    std::size_t free_count = 0;
+    std::vector<InstState> state(total_instances, InstState::Parked);
+    std::vector<Cycle> last_freed(total_instances, 0);
+    std::vector<Cycle> expected_completion(total_instances, kNeverCycle);
+    std::vector<Cycle> warm_ready(total_instances, kNeverCycle);
+    std::vector<Cycle> park_ready(total_instances, 0);
+    std::vector<std::uint32_t> active_count(num_classes, 0);
+    std::vector<std::uint32_t> free_in_class(num_classes, 0);
     {
         std::uint32_t next = 0;
         for (std::size_t c = 0; c < classes.size(); ++c)
-            for (std::uint32_t k = 0; k < classes[c].count; ++k) {
+            for (std::uint32_t k = 0; k < max_rep[c]; ++k) {
                 result.instances[next].id = next;
                 result.instances[next].classIndex =
                     static_cast<std::uint32_t>(c);
                 class_of[next] = static_cast<std::uint32_t>(c);
-                free_by_class[c].push({Cycle{0}, next});
+                if (k < init_rep[c]) {
+                    state[next] = InstState::Idle;
+                    free_by_class[c].push({Cycle{0}, next});
+                    ++free_count;
+                    ++active_count[c];
+                    ++free_in_class[c];
+                }
                 ++next;
             }
     }
+
+    // Power accounting: each running batch draws its priced joules
+    // over its priced service time; the cluster draw is the step
+    // function summing concurrent batches.
+    double current_watts = 0.0;
+    double peak_watts = 0.0;
+    std::vector<double> busy_watts(cap_on ? total_instances : 0, 0.0);
+
+    // Running-batch bookkeeping for preemption (members to re-queue,
+    // the record to truncate, and what the victim has executed).
+    std::vector<std::vector<ServeRequest>> run_members(
+        preempt_on ? total_instances : 0);
+    std::vector<Cycle> run_dispatch(preempt_on ? total_instances : 0, 0);
+    std::vector<Cycle> run_service(preempt_on ? total_instances : 0, 0);
+    std::vector<double> run_joules(preempt_on ? total_instances : 0, 0.0);
+    std::vector<std::uint64_t> run_batch(preempt_on ? total_instances : 0,
+                                         0);
+    std::vector<Cycle> run_min_deadline(preempt_on ? total_instances : 0,
+                                        kNeverCycle);
+
+    // Scaling-signal window counters and the applied-action trail.
+    std::uint64_t window_dispatched = 0;
+    std::uint64_t window_missed = 0;
+    std::uint64_t scale_ups = 0;
+    std::uint64_t scale_downs = 0;
+    std::uint64_t power_deferred = 0;
+    std::uint64_t preempt_count = 0;
+    Cycle preempted_cycles = 0;
+    Cycle released_makespan = 0;
+    Cycle next_control = control_interval;
+    std::vector<std::vector<ServeStats::ReplicaSample>> timelines;
+    if (scaling_on) {
+        timelines.assign(num_classes, {});
+        for (std::size_t c = 0; c < num_classes; ++c)
+            timelines[c].push_back({Cycle{0}, init_rep[c]});
+    }
+
+    // Batches the power cap refused to place: strict head-of-line —
+    // while one waits, nothing younger dispatches past it.
+    std::deque<std::vector<ServeRequest>> deferred;
 
     const std::vector<TenantMix> tenants = resolvedTenants(config_);
     std::optional<StreamingStatsSink> sink;
     if (streaming)
         sink.emplace(tenants.size(), num_classes,
-                     config_.statsReservoirCapacity, config_.seed,
-                     config_.statsFlushEveryRequests, &std::cerr);
+                     config_.stats.reservoirCapacity, config_.seed,
+                     config_.stats.flushEveryRequests, &std::cerr);
 
     std::uint64_t served = 0;
     Cycle now = 0;
@@ -356,12 +489,57 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
         // Release completions due by now back onto their class's
         // ready list. The freed key keeps the completion cycle —
         // exactly the legacy free_at value least-recently-freed ties
-        // compare.
+        // compare. Under the control plane each entry is validated
+        // first (stale entries from preemptions and cancelled
+        // warm-ups drop), warm-ups come online, and draining
+        // replicas park instead of re-listing.
         while (!completions.empty() && completions.top().first <= now) {
             const InstanceKey done = completions.top();
             completions.pop();
-            free_by_class[class_of[done.second]].push(done);
-            ++free_count;
+            const std::uint32_t inst = done.second;
+            const std::uint32_t cls = class_of[inst];
+            if (!control_on) {
+                free_by_class[cls].push(done);
+                ++free_count;
+                continue;
+            }
+            if (state[inst] == InstState::Warming &&
+                done.first == warm_ready[inst]) {
+                state[inst] = InstState::Idle;
+                warm_ready[inst] = kNeverCycle;
+                free_by_class[cls].push(done);
+                last_freed[inst] = done.first;
+                ++free_count;
+                ++free_in_class[cls];
+                continue;
+            }
+            if ((state[inst] == InstState::Busy ||
+                 state[inst] == InstState::Draining) &&
+                done.first == expected_completion[inst]) {
+                expected_completion[inst] = kNeverCycle;
+                if (cap_on) {
+                    current_watts -= busy_watts[inst];
+                    busy_watts[inst] = 0.0;
+                    if (current_watts < 1e-9)
+                        current_watts = 0.0;
+                }
+                released_makespan =
+                    std::max(released_makespan, done.first);
+                if (state[inst] == InstState::Draining) {
+                    state[inst] = InstState::Parked;
+                    park_ready[inst] =
+                        satAddCycles(done.first, drain_cycles);
+                } else {
+                    state[inst] = InstState::Idle;
+                    free_by_class[cls].push(done);
+                    last_freed[inst] = done.first;
+                    ++free_count;
+                    ++free_in_class[cls];
+                }
+                continue;
+            }
+            // Stale: a cancelled warm-up, or the original completion
+            // of a batch that was preempted mid-flight.
         }
         while (pending && pending->arrival <= now) {
             policy->admit(*pending);
@@ -369,18 +547,103 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
         }
         const bool drain = !pending;
 
-        // Dispatch while a batch is formable and an instance is
-        // free. The policy picks the batch; routing then picks,
-        // among classes with a free instance, the one the configured
-        // objective scores best at the batch's actual size.
-        for (;;) {
-            if (free_count == 0)
-                break;
-            if (!policy->ready(now, drain))
-                break;
+        // Control tick: snapshot per-class signals, ask the scaling
+        // policy for a delta, apply it with warm-up/drain costs.
+        if (scaling_on && now >= next_control) {
+            for (std::size_t c = 0; c < num_classes; ++c) {
+                ScalingSignals signals;
+                signals.now = now;
+                signals.queuedRequests = policy->pending();
+                signals.activeReplicas = active_count[c];
+                signals.freeReplicas = free_in_class[c];
+                signals.minReplicas = min_rep[c];
+                signals.maxReplicas = max_rep[c];
+                signals.windowDispatched = window_dispatched;
+                signals.windowMissed = window_missed;
+                const std::int64_t target = std::clamp<std::int64_t>(
+                    static_cast<std::int64_t>(active_count[c]) +
+                        scaler->delta(signals),
+                    min_rep[c], max_rep[c]);
+                const std::uint32_t lo = class_start[c];
+                const std::uint32_t hi = lo + max_rep[c];
+                while (target >
+                       static_cast<std::int64_t>(active_count[c])) {
+                    // Bring up the lowest-id parked replica; it joins
+                    // the free list warmup_cycles after it can start
+                    // (its drain must have finished first).
+                    std::uint32_t pick = hi;
+                    for (std::uint32_t i = lo; i < hi; ++i)
+                        if (state[i] == InstState::Parked) {
+                            pick = i;
+                            break;
+                        }
+                    if (pick == hi)
+                        break;
+                    state[pick] = InstState::Warming;
+                    warm_ready[pick] = satAddCycles(
+                        std::max(now, park_ready[pick]), warmup_cycles);
+                    completions.push({warm_ready[pick], pick});
+                    ++active_count[c];
+                    ++scale_ups;
+                    timelines[c].push_back({now, active_count[c]});
+                }
+                while (target <
+                       static_cast<std::int64_t>(active_count[c])) {
+                    // Retire the highest-id replica that costs the
+                    // least to stop: cancel a warm-up, else park an
+                    // idle replica, else drain a busy one after its
+                    // in-flight batch.
+                    std::uint32_t pick = hi;
+                    for (std::uint32_t i = hi; i-- > lo;)
+                        if (state[i] == InstState::Warming) {
+                            pick = i;
+                            break;
+                        }
+                    if (pick != hi) {
+                        state[pick] = InstState::Parked;
+                        warm_ready[pick] = kNeverCycle;
+                        park_ready[pick] = now;
+                    } else {
+                        for (std::uint32_t i = hi; i-- > lo;)
+                            if (state[i] == InstState::Idle) {
+                                pick = i;
+                                break;
+                            }
+                        if (pick != hi) {
+                            state[pick] = InstState::Parked;
+                            park_ready[pick] =
+                                satAddCycles(now, drain_cycles);
+                            --free_count;
+                            --free_in_class[c];
+                        } else {
+                            for (std::uint32_t i = hi; i-- > lo;)
+                                if (state[i] == InstState::Busy) {
+                                    pick = i;
+                                    break;
+                                }
+                            if (pick == hi)
+                                break;
+                            state[pick] = InstState::Draining;
+                        }
+                    }
+                    --active_count[c];
+                    ++scale_downs;
+                    timelines[c].push_back({now, active_count[c]});
+                }
+            }
+            window_dispatched = 0;
+            window_missed = 0;
+            while (next_control <= now)
+                next_control =
+                    satAddCycles(next_control, control_interval);
+        }
 
-            const std::vector<ServeRequest> members =
-                policy->pop(now, drain);
+        // Route and commit one batch, or report that the power cap
+        // (the only reason routing can refuse while an instance is
+        // free) left it unplaced. Identical to the legacy scan when
+        // the control plane is off.
+        auto dispatch_batch =
+            [&](const std::vector<ServeRequest> &members) -> bool {
             const std::uint32_t scenario = members.front().scenario;
             const std::size_t batch_size = members.size();
             const std::size_t score_idx =
@@ -397,12 +660,31 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             Cycle best = 0;
             double best_score = 0.0;
             InstanceKey best_rep{};
+            bool cap_skipped = false;
             for (std::size_t c = 0; c < num_classes; ++c) {
-                if (free_by_class[c].empty())
+                InstanceMinHeap &heap = free_by_class[c];
+                if (control_on)
+                    while (!heap.empty() &&
+                           (state[heap.top().second] !=
+                                InstState::Idle ||
+                            heap.top().first !=
+                                last_freed[heap.top().second]))
+                        heap.pop();
+                if (heap.empty())
                     continue;
-                const InstanceKey rep = free_by_class[c].top();
+                const InstanceKey rep = heap.top();
                 const Cycle cost =
                     curveAt(curves[c][scenario], batch_size);
+                if (cap_on) {
+                    const double watts =
+                        energyCurveAt(energy[c][scenario],
+                                      batch_size) *
+                        clock_hz / static_cast<double>(cost);
+                    if (current_watts + watts > cap_watts) {
+                        cap_skipped = true;
+                        continue;
+                    }
+                }
                 const double cost_score =
                     raw_cycles ? 0.0 : scores[c][scenario][score_idx];
                 if (best_class == num_classes) {
@@ -425,6 +707,33 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                     best_rep = rep;
                 }
             }
+            if (best_class == num_classes && cap_skipped &&
+                current_watts <= 0.0) {
+                // Progress guarantee: an idle cluster always places
+                // the batch on its least-thirsty class, even when
+                // that one batch alone exceeds the cap — otherwise a
+                // cap below any single batch's draw would live-lock.
+                double min_watts = 0.0;
+                for (std::size_t c = 0; c < num_classes; ++c) {
+                    if (free_by_class[c].empty())
+                        continue;
+                    const Cycle cost =
+                        curveAt(curves[c][scenario], batch_size);
+                    const double watts =
+                        energyCurveAt(energy[c][scenario],
+                                      batch_size) *
+                        clock_hz / static_cast<double>(cost);
+                    if (best_class == num_classes ||
+                        watts < min_watts) {
+                        best_class = c;
+                        best = cost;
+                        best_rep = free_by_class[c].top();
+                        min_watts = watts;
+                    }
+                }
+            }
+            if (best_class == num_classes)
+                return false;
 
             const std::uint32_t inst = best_rep.second;
             free_by_class[best_class].pop();
@@ -435,6 +744,8 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             const Cycle completion = now + service;
             const double joules = energyCurveAt(
                 energy[best_class][scenario], batch_size);
+            const std::uint64_t batch_id =
+                streaming ? 0 : result.batches.size();
 
             if (streaming) {
                 sink->onBatch(now, completion, joules,
@@ -442,7 +753,7 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                               members);
             } else {
                 BatchRecord batch;
-                batch.id = result.batches.size();
+                batch.id = batch_id;
                 batch.scenario = scenario;
                 batch.instance = inst;
                 batch.dispatch = now;
@@ -475,23 +786,162 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                 result.batches.push_back(std::move(batch));
             }
 
+            if (control_on) {
+                state[inst] = InstState::Busy;
+                --free_in_class[best_class];
+                expected_completion[inst] = completion;
+                if (cap_on) {
+                    const double watts =
+                        joules * clock_hz /
+                        static_cast<double>(service);
+                    busy_watts[inst] = watts;
+                    current_watts += watts;
+                    peak_watts =
+                        std::max(peak_watts, current_watts);
+                }
+                window_dispatched += batch_size;
+                Cycle min_deadline = kNeverCycle;
+                for (const ServeRequest &member : members) {
+                    min_deadline =
+                        std::min(min_deadline, member.deadline);
+                    if (member.deadline != kNeverCycle &&
+                        completion > member.deadline)
+                        ++window_missed;
+                }
+                if (preempt_on) {
+                    run_members[inst] = members;
+                    run_dispatch[inst] = now;
+                    run_service[inst] = service;
+                    run_joules[inst] = joules;
+                    run_batch[inst] = batch_id;
+                    run_min_deadline[inst] = min_deadline;
+                }
+            }
+
             InstanceRecord &instance = result.instances[inst];
             ++instance.batches;
             instance.requests += batch_size;
             instance.busyCycles += service;
             completions.push({completion, inst});
-            result.makespan = std::max(result.makespan, completion);
+            if (!control_on)
+                result.makespan = std::max(result.makespan, completion);
             served += batch_size;
+            return true;
+        };
+
+        // A tight-deadline head about to burn while every replica
+        // grinds a bulk batch: checkpoint-displace the bulk victim
+        // with the most remaining work, re-queue its members, and
+        // free its replica after the priced checkpoint overhead.
+        // Only fires when it can actually save the head's deadline.
+        auto try_preempt = [&]() -> bool {
+            const SchedulerPolicy::HeadPeek peek =
+                policy->peekHead(now, drain);
+            if (!peek.valid || peek.deadline == kNeverCycle)
+                return false;
+            const Cycle unit = oracle_table[peek.scenario][0];
+            Cycle earliest = kNeverCycle;
+            for (std::uint32_t i = 0; i < total_instances; ++i) {
+                if (state[i] == InstState::Busy ||
+                    state[i] == InstState::Draining)
+                    earliest =
+                        std::min(earliest, expected_completion[i]);
+                else if (state[i] == InstState::Warming)
+                    earliest = std::min(earliest, warm_ready[i]);
+            }
+            if (earliest == kNeverCycle ||
+                satAddCycles(earliest, unit) <= peek.deadline)
+                return false; // a replica frees in time anyway
+            std::uint32_t victim = total_instances;
+            Cycle victim_completion = 0;
+            for (std::uint32_t i = 0; i < total_instances; ++i)
+                if (state[i] == InstState::Busy &&
+                    run_min_deadline[i] == kNeverCycle &&
+                    !run_members[i].empty() &&
+                    expected_completion[i] > victim_completion) {
+                    victim = i;
+                    victim_completion = expected_completion[i];
+                }
+            if (victim == total_instances)
+                return false; // nothing bulk to displace
+            const Cycle executed = now - run_dispatch[victim];
+            const Cycle overhead = std::max<Cycle>(
+                1, static_cast<Cycle>(std::llround(
+                       control.preemptionOverheadFraction *
+                       static_cast<double>(run_service[victim]))));
+            if (satAddCycles(satAddCycles(now, overhead), unit) >
+                peek.deadline)
+                return false; // too late for the checkpoint to help
+
+            const std::size_t displaced = run_members[victim].size();
+            BatchRecord &batch = result.batches[run_batch[victim]];
+            batch.preempted = true;
+            batch.completion = now + overhead;
+            const double burned_fraction =
+                static_cast<double>(executed + overhead) /
+                static_cast<double>(run_service[victim]);
+            batch.joules = run_joules[victim] * burned_fraction;
+            InstanceRecord &vic = result.instances[victim];
+            vic.busyCycles -= run_service[victim];
+            vic.busyCycles += executed + overhead;
+            vic.requests -= displaced;
+            // busy_watts stays in place: the replica keeps drawing
+            // power through the checkpoint; the pseudo-completion at
+            // now + overhead subtracts it.
+            expected_completion[victim] = now + overhead;
+            completions.push({now + overhead, victim});
+            for (const ServeRequest &member : run_members[victim])
+                policy->admit(member);
+            served -= displaced;
+            run_members[victim].clear();
+            run_min_deadline[victim] = kNeverCycle;
+            ++preempt_count;
+            preempted_cycles += executed;
+            return true;
+        };
+
+        // Dispatch while a batch is formable and an instance is
+        // free. The policy picks the batch; routing then picks,
+        // among classes with a free instance, the one the configured
+        // objective scores best at the batch's actual size. A
+        // cap-deferred batch holds the line: nothing younger passes
+        // it, and it retries at every event until it fits.
+        for (;;) {
+            if (!deferred.empty()) {
+                if (free_count == 0)
+                    break;
+                if (!dispatch_batch(deferred.front()))
+                    break;
+                deferred.pop_front();
+                continue;
+            }
+            if (free_count == 0) {
+                if (preempt_on)
+                    try_preempt();
+                break;
+            }
+            if (!policy->ready(now, drain))
+                break;
+
+            std::vector<ServeRequest> members =
+                policy->pop(now, drain);
+            if (!dispatch_batch(members)) {
+                deferred.push_back(std::move(members));
+                ++power_deferred;
+                break;
+            }
         }
+
         if (served == total_requests)
             break;
 
         // Advance to the next event: an arrival, a queue-head batch
-        // timeout, or an instance completion.
+        // timeout, an instance completion (or warm-up), or a control
+        // tick.
         Cycle next = kNeverCycle;
         if (pending)
             next = std::min(next, pending->arrival);
-        if (!policy->empty()) {
+        if (!policy->empty() || !deferred.empty()) {
             // A timeout already in the past made its queue ready; the
             // blocker is then a busy instance, so only future expiries
             // are events.
@@ -501,9 +951,30 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             if (!completions.empty())
                 next = std::min(next, completions.top().first);
         }
+        if (scaling_on && next_control > now)
+            next = std::min(next, next_control);
         if (next == kNeverCycle || next <= now)
             throw std::logic_error("serve: scheduler cannot advance");
         now = next;
+    }
+
+    if (control_on) {
+        // Work completions still in flight at exit count toward the
+        // makespan; warm-up pseudo-completions and stale entries from
+        // preemptions do not.
+        result.makespan = released_makespan;
+        while (!completions.empty()) {
+            const InstanceKey done = completions.top();
+            completions.pop();
+            const std::uint32_t inst = done.second;
+            if ((state[inst] == InstState::Busy ||
+                 state[inst] == InstState::Draining) &&
+                done.first == expected_completion[inst]) {
+                expected_completion[inst] = kNeverCycle;
+                result.makespan =
+                    std::max(result.makespan, done.first);
+            }
+        }
     }
 
     for (InstanceRecord &instance : result.instances)
@@ -527,6 +998,19 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             result.requests, result.batches, result.instances,
             result.makespan, result.clockHz, tenants, class_labels);
     result.stats.deadlineCapsAvoided = policy->deadlineCapsAvoided();
+    if (control_on) {
+        result.stats.powerDeferredBatches = power_deferred;
+        result.stats.peakClusterWatts = peak_watts;
+        if (result.makespan > 0)
+            result.stats.meanClusterWatts =
+                result.stats.totalJoules * clock_hz /
+                static_cast<double>(result.makespan);
+        result.stats.preemptions = preempt_count;
+        result.stats.preemptedCycles = preempted_cycles;
+        result.stats.scaleUpEvents = scale_ups;
+        result.stats.scaleDownEvents = scale_downs;
+        result.stats.replicaTimelines = std::move(timelines);
+    }
     return result;
 }
 

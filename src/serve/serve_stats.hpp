@@ -69,6 +69,15 @@ struct BatchRecord
      *  the priced joules(B) curve of the routed class). */
     double joules = 0.0;
 
+    /**
+     * Batch was checkpoint-displaced by a tight-deadline arrival:
+     * completion marks the preemption instant (executed prefix plus
+     * the checkpoint overhead), joules are scaled to the cycles
+     * actually burned, and the members re-enter the queue to ride a
+     * later batch. Always false with preemption off.
+     */
+    bool preempted = false;
+
     Cycle serviceCycles() const { return completion - dispatch; }
 };
 
@@ -174,6 +183,44 @@ struct ServeStats
 
     /** Per-class breakdown, in resolved cluster-class order. */
     std::vector<ClassStats> classStats;
+
+    // --- Control-plane accounting (all zero/empty with the control
+    // --- plane off, so default-config JSON stays byte-identical).
+
+    /** Batches whose dispatch the cluster-wide power cap deferred
+     *  (counted once per batch, however long it waited). */
+    std::uint64_t powerDeferredBatches = 0;
+
+    /** Highest modeled cluster draw at any event instant, watts
+     *  (sum over concurrently-running batches of joules/seconds). */
+    double peakClusterWatts = 0.0;
+
+    /** totalJoules over the makespan wall time, watts. */
+    double meanClusterWatts = 0.0;
+
+    /** Running batches displaced by a tight-deadline arrival. */
+    std::uint64_t preemptions = 0;
+
+    /** Cycles of displaced batches' executed-then-redone work (from
+     *  each victim's dispatch to its preemption instant). */
+    Cycle preemptedCycles = 0;
+
+    /** Replicas brought up / retired by the scaling policy. */
+    std::uint64_t scaleUpEvents = 0;
+    std::uint64_t scaleDownEvents = 0;
+
+    /** One (cycle, replicas) step point of a class's replica-count
+     *  timeline. */
+    struct ReplicaSample
+    {
+        Cycle cycle = 0;
+        std::uint32_t replicas = 0;
+    };
+
+    /** Per-class replica-count timelines, in resolved cluster-class
+     *  order: the initial count at cycle 0 plus one sample per
+     *  applied scaling action. Empty with "static" scaling. */
+    std::vector<std::vector<ReplicaSample>> replicaTimelines;
 };
 
 /**

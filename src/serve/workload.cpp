@@ -86,6 +86,12 @@ ServeConfig::validate() const
             throw std::invalid_argument(
                 "serve: cluster class \"" + cls.label() +
                 "\" has zero instances");
+        const std::uint32_t lo = cls.minCount ? cls.minCount : cls.count;
+        const std::uint32_t hi = cls.maxCount ? cls.maxCount : cls.count;
+        if (lo > hi || cls.count < lo || cls.count > hi)
+            throw std::invalid_argument(
+                "serve: cluster class \"" + cls.label() +
+                "\" needs minCount <= count <= maxCount");
     }
     if (numRequests == 0)
         throw std::invalid_argument("serve: numRequests must be >= 1");
@@ -94,20 +100,55 @@ ServeConfig::validate() const
             "serve: meanInterarrivalCycles must be >= 0");
     if (cluster.empty() && instances == 0)
         throw std::invalid_argument("serve: instances must be >= 1");
-    if (maxBatch == 0)
+    if (batching.maxBatch == 0)
         throw std::invalid_argument("serve: maxBatch must be >= 1");
-    if (!(batchMarginalFraction >= 0.0))
+    if (!(batching.marginalFraction >= 0.0))
         throw std::invalid_argument(
-            "serve: batchMarginalFraction must be >= 0");
-    if (costModel.empty())
+            "serve: batching.marginalFraction must be >= 0");
+    if (batching.costModel.empty())
         throw std::invalid_argument("serve: costModel name is empty");
     if (routeObjective.empty())
         throw std::invalid_argument(
             "serve: routeObjective name is empty");
-    if (streamingStats && statsReservoirCapacity == 0)
+    if (stats.streaming && stats.reservoirCapacity == 0)
         throw std::invalid_argument(
-            "serve: statsReservoirCapacity must be >= 1 when "
-            "streamingStats is set");
+            "serve: stats.reservoirCapacity must be >= 1 when "
+            "streaming stats are on");
+    if (control.scalingPolicy.empty())
+        throw std::invalid_argument(
+            "serve: control.scalingPolicy name is empty");
+    if (!(control.queueDepthHigh > 0.0) ||
+        !(control.queueDepthLow >= 0.0) ||
+        control.queueDepthLow >= control.queueDepthHigh)
+        throw std::invalid_argument(
+            "serve: control queue-depth watermarks need "
+            "0 <= low < high");
+    if (!(control.sloBurnHigh > 0.0))
+        throw std::invalid_argument(
+            "serve: control.sloBurnHigh must be > 0");
+    if (!(control.powerCapWatts >= 0.0))
+        throw std::invalid_argument(
+            "serve: control.powerCapWatts must be >= 0");
+    if (!(control.preemptionOverheadFraction >= 0.0))
+        throw std::invalid_argument(
+            "serve: control.preemptionOverheadFraction must be >= 0");
+    if (control.preemption && stats.streaming)
+        throw std::invalid_argument(
+            "serve: preemption is incompatible with streaming stats "
+            "(the sink folds batches at dispatch, before a "
+            "preemption could undo one)");
+    if (cluster.empty()) {
+        const std::uint32_t lo = control.minInstances
+                                     ? control.minInstances
+                                     : instances;
+        const std::uint32_t hi = control.maxInstances
+                                     ? control.maxInstances
+                                     : instances;
+        if (lo > hi || instances < lo || instances > hi)
+            throw std::invalid_argument(
+                "serve: control needs minInstances <= instances <= "
+                "maxInstances");
+    }
     arrival.validate();
 }
 
@@ -184,6 +225,13 @@ RequestGenerator::next()
                 "tenant or scenario index");
         request.tenant = arrival.tenant;
         request.scenario = arrival.scenario;
+    } else if (arrival.pinnedTenant) {
+        if (arrival.tenant >= tenantCumulative_.size())
+            throw std::invalid_argument(
+                "serve: arrival process pinned an out-of-range "
+                "tenant index");
+        request.tenant = arrival.tenant;
+        request.scenario = draw(scenarioCumulative_[request.tenant]);
     } else {
         request.tenant = draw(tenantCumulative_);
         request.scenario = draw(scenarioCumulative_[request.tenant]);

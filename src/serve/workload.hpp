@@ -101,7 +101,8 @@ struct ClusterSpec
         /** Registry key of the platform this class runs. */
         std::string platform;
 
-        /** Replicated instances of this class (>= 1). */
+        /** Replicated instances of this class (>= 1); the initial
+         *  replica count when the control plane autoscales. */
         std::uint32_t count = 1;
 
         /**
@@ -114,6 +115,17 @@ struct ClusterSpec
         /** Stats/JSON label; empty defaults to the platform key. */
         std::string name;
 
+        /**
+         * Autoscaling floor/ceiling on the class's replica count,
+         * consulted only when ControlPlaneSpec::scalingPolicy is not
+         * "static". 0 resolves to `count`, so un-annotated classes
+         * stay fixed-size even under an autoscaling policy. (Last
+         * fields so positional InstanceClass initializers predating
+         * the control plane stay valid.)
+         */
+        std::uint32_t minCount = 0;
+        std::uint32_t maxCount = 0;
+
         const std::string &label() const
         { return name.empty() ? platform : name; }
     };
@@ -124,6 +136,178 @@ struct ClusterSpec
 
     /** Total instance count across classes. */
     std::uint32_t totalInstances() const;
+};
+
+/**
+ * Batch-formation knobs, grouped: how large batches grow, how long a
+ * queue head waits for co-batchable requests, and which cost model
+ * prices the resulting co-batches. Defaults reproduce the historic
+ * flat-knob behavior byte-exactly.
+ */
+struct BatchingSpec
+{
+    /** Largest batch one instance serves at once (>= 1). */
+    std::uint32_t maxBatch = 8;
+
+    /**
+     * Longest a queue head waits for co-batchable requests before it
+     * dispatches under-full (cycles).
+     */
+    Cycle timeoutCycles = 200000;
+
+    /**
+     * Marginal cost of each request beyond the first in a batch, as
+     * a fraction of the scenario's unit service cycles: weights and
+     * graph structure are already resident, so co-batched inferences
+     * amortize them. 1.0 disables the batching benefit. Consumed by
+     * the "marginal" cost model only.
+     */
+    double marginalFraction = 0.35;
+
+    /**
+     * Registry key of the batch cost model pricing co-scheduled
+     * requests ("marginal", "analytic", "measured"): the model turns
+     * each (instance class, scenario) unit run into a cost curve
+     * cycles(B) for B = 1..maxBatch that service times, routing, and
+     * deadline-aware batch sizing all consult.
+     */
+    std::string costModel = "marginal";
+
+    /**
+     * Deadline-aware batch sizing for the "edf" policy: stop filling
+     * a batch at the size where the cost curve says one more member
+     * would push the tightest queued deadline past its SLO.
+     * ServeStats::deadlineCapsAvoided counts the saves. On by
+     * default since the curve-blind legacy fills only ever traded
+     * deadline hits for nothing; switch off to reproduce pre-flip
+     * EDF schedules. Other policies ignore the flag.
+     */
+    bool deadlineAware = true;
+};
+
+/** Stats-collection knobs, grouped: streaming aggregation and its
+ *  reservoir/flush parameters. Defaults keep the materialized path
+ *  (and the checked-in goldens) byte-identical. */
+struct StatsSpec
+{
+    /**
+     * Stream aggregate stats instead of materializing per-request
+     * records: ServeResult.requests and .batches stay empty and
+     * ServeStats is folded batch-by-batch through a StreamingStatsSink
+     * (serve/stats_sink.hpp), so memory stays bounded at
+     * million-request scale. Percentiles come from a deterministic
+     * reservoir — exact while the request count fits
+     * reservoirCapacity, an unbiased estimate beyond it; every other
+     * stat matches the materialized path to accumulation-order noise.
+     */
+    bool streaming = false;
+
+    /**
+     * Latency samples each streaming reservoir retains (global and
+     * per-tenant). Runs at or below this many requests get exact
+     * percentiles; larger runs get a uniform-sample estimate.
+     * Ignored unless streaming is set.
+     */
+    std::uint64_t reservoirCapacity = 65536;
+
+    /**
+     * Progress pulse for streaming runs: every this-many served
+     * requests, print one running-stats line (requests, batches,
+     * mean latency, approximate p99) to stderr. 0 disables. Ignored
+     * unless streaming is set.
+     */
+    std::uint64_t flushEveryRequests = 0;
+};
+
+/**
+ * The cluster control plane: autoscaling, a cluster-wide power cap,
+ * and batch preemption, all evaluated on the scheduler's event
+ * timeline (serve/control_plane.hpp). The defaults — "static"
+ * scaling, no cap, preemption off — disable every control path, and
+ * the scheduler then reproduces pre-control-plane schedules
+ * byte-identically.
+ */
+struct ControlPlaneSpec
+{
+    /**
+     * Registry key of the scaling policy deciding per-class replica
+     * deltas each control interval: "static" (never scales — the
+     * default), "queue-depth" (queued requests per active replica
+     * against the high/low watermarks), "slo-burn" (window deadline
+     *-miss rate against sloBurnHigh, queue-depth low watermark for
+     * scale-down). Custom policies register through
+     * Registry::registerScalingPolicy.
+     */
+    std::string scalingPolicy = "static";
+
+    /** Control-loop evaluation period in cycles; 0 resolves to 16x
+     *  the mean interarrival gap. */
+    Cycle intervalCycles = 0;
+
+    /** Modeled replica warm-up (weights load, clocks up) between a
+     *  scale-up decision and the replica serving; 0 resolves to 8x
+     *  the mean interarrival gap. */
+    Cycle warmupCycles = 0;
+
+    /** Modeled drain/park cost after a replica retires before it can
+     *  warm up again; 0 resolves to 4x the mean interarrival gap. */
+    Cycle drainCycles = 0;
+
+    /** Scale up when queued requests per active replica exceed this
+     *  ("queue-depth", and "slo-burn" scale-ups too). */
+    double queueDepthHigh = 4.0;
+
+    /** Scale down when queued requests per active replica fall below
+     *  this with idle replicas to spare. */
+    double queueDepthLow = 0.5;
+
+    /** "slo-burn": scale up when the window's deadline-miss fraction
+     *  (missed / completed) exceeds this. */
+    double sloBurnHigh = 0.1;
+
+    /**
+     * Cluster-wide power cap in watts over the modeled per-batch
+     * draw (joules / service seconds); 0 means uncapped. Routing
+     * skips classes whose dispatch would exceed the cap and the
+     * scheduler defers cap-bound batches head-of-line
+     * (ServeStats::powerDeferredBatches) until completions free
+     * budget. A batch arriving at an idle cluster always dispatches,
+     * so an over-cap single batch throttles rather than livelocks.
+     */
+    double powerCapWatts = 0.0;
+
+    /**
+     * Batch preemption: a tight-deadline head the "edf" policy
+     * cannot otherwise save may checkpoint-displace a running batch
+     * whose members carry no deadline. The victim's work re-enqueues
+     * at its original queue position and the preempting instance
+     * pays a checkpoint overhead priced from the victim scenario's
+     * cost curve. Incompatible with StatsSpec::streaming (the sink
+     * folds batches at dispatch time, before a preemption could
+     * undo one).
+     */
+    bool preemption = false;
+
+    /** Checkpoint/displacement overhead as a fraction of the
+     *  victim scenario's unit service cycles on its class. */
+    double preemptionOverheadFraction = 0.1;
+
+    /**
+     * Homogeneous-shorthand autoscaling floor/ceiling, applied to
+     * the synthetic instance class when ServeConfig::cluster is
+     * empty (heterogeneous classes carry their own min/max). 0
+     * resolves to ServeConfig::instances.
+     */
+    std::uint32_t minInstances = 0;
+    std::uint32_t maxInstances = 0;
+
+    /** Any control path active? False for the defaults, and the
+     *  scheduler then runs the byte-identical legacy event loop. */
+    bool enabled() const
+    {
+        return scalingPolicy != "static" || powerCapWatts > 0.0 ||
+               preemption;
+    }
 };
 
 /** Everything needed to reproduce one serving simulation. */
@@ -171,32 +355,10 @@ struct ServeConfig
     /** Replicated accelerator instances (>= 1; homogeneous case). */
     std::uint32_t instances = 1;
 
-    /** Largest batch one instance serves at once (>= 1). */
-    std::uint32_t maxBatch = 8;
-
-    /**
-     * Longest a queue head waits for co-batchable requests before it
-     * dispatches under-full (cycles).
-     */
-    Cycle batchTimeoutCycles = 200000;
-
-    /**
-     * Marginal cost of each request beyond the first in a batch, as
-     * a fraction of the scenario's unit service cycles: weights and
-     * graph structure are already resident, so co-batched inferences
-     * amortize them. 1.0 disables the batching benefit. Consumed by
-     * the "marginal" cost model only.
-     */
-    double batchMarginalFraction = 0.35;
-
-    /**
-     * Registry key of the batch cost model pricing co-scheduled
-     * requests ("marginal", "analytic", "measured"): the model turns
-     * each (instance class, scenario) unit run into a cost curve
-     * cycles(B) for B = 1..maxBatch that service times, routing, and
-     * deadline-aware batch sizing all consult.
-     */
-    std::string costModel = "marginal";
+    /** Batch formation: size cap, head timeout, cost model, and
+     *  deadline-aware fill (BatchingSpec defaults are the legacy
+     *  flat-knob values, byte-identical). */
+    BatchingSpec batching;
 
     /**
      * Registry key of the routing objective that picks, among free
@@ -209,46 +371,13 @@ struct ServeConfig
      */
     std::string routeObjective = "cycles";
 
-    /**
-     * Deadline-aware batch sizing for the "edf" policy: stop filling
-     * a batch at the size where the cost curve says one more member
-     * would push the tightest queued deadline past its SLO.
-     * ServeStats::deadlineCapsAvoided counts the saves. On by
-     * default since the curve-blind legacy fills only ever traded
-     * deadline hits for nothing; switch off to reproduce pre-flip
-     * EDF schedules. Other policies ignore the flag.
-     */
-    bool deadlineAwareBatching = true;
+    /** Stats collection: streaming aggregation and its reservoir /
+     *  flush knobs. Defaults materialize per-request records. */
+    StatsSpec stats;
 
-    /**
-     * Stream aggregate stats instead of materializing per-request
-     * records: ServeResult.requests and .batches stay empty and
-     * ServeStats is folded batch-by-batch through a StreamingStatsSink
-     * (serve/stats_sink.hpp), so memory stays bounded at
-     * million-request scale. Percentiles come from a deterministic
-     * reservoir — exact while the request count fits
-     * statsReservoirCapacity, an unbiased estimate beyond it; every
-     * other stat matches the materialized path to accumulation-order
-     * noise. Off by default: the default path's results (and the
-     * checked-in goldens) are byte-identical to pre-sink builds.
-     */
-    bool streamingStats = false;
-
-    /**
-     * Latency samples each streaming reservoir retains (global and
-     * per-tenant). Runs at or below this many requests get exact
-     * percentiles; larger runs get a uniform-sample estimate.
-     * Ignored unless streamingStats is set.
-     */
-    std::uint64_t statsReservoirCapacity = 65536;
-
-    /**
-     * Progress pulse for streaming runs: every this-many served
-     * requests, print one running-stats line (requests, batches,
-     * mean latency, approximate p99) to stderr. 0 disables. Ignored
-     * unless streamingStats is set.
-     */
-    std::uint64_t statsFlushEveryRequests = 0;
+    /** The cluster control plane: autoscaling, power cap, and batch
+     *  preemption. Defaults disable every control path. */
+    ControlPlaneSpec control;
 
     /** Instances across the cluster (classes, or the shorthand). */
     std::uint32_t totalInstances() const

@@ -241,6 +241,12 @@ toJson(const serve::ServeConfig &config)
             out += "{\"platform\":\"" + jsonEscape(cls.platform) +
                    "\",\"label\":\"" + jsonEscape(cls.label()) +
                    "\",\"count\":" + std::to_string(cls.count);
+            // Autoscaling bounds emit only when set (0 means "count",
+            // and pre-control-plane goldens stay byte-identical).
+            if (cls.minCount)
+                out += ",\"min_count\":" + std::to_string(cls.minCount);
+            if (cls.maxCount)
+                out += ",\"max_count\":" + std::to_string(cls.maxCount);
             if (cls.hygcn)
                 out += ",\"hygcn_config\":" + hygcnConfigJson(*cls.hygcn);
             out += "}";
@@ -285,35 +291,35 @@ toJson(const serve::ServeConfig &config)
            number(config.meanInterarrivalCycles) + ",";
     out += "\"seed\":" + std::to_string(config.seed) + ",";
     out += "\"instances\":" + std::to_string(config.instances) + ",";
-    out += "\"max_batch\":" + std::to_string(config.maxBatch) + ",";
+    out += "\"max_batch\":" + std::to_string(config.batching.maxBatch) + ",";
     out += "\"batch_timeout_cycles\":" +
-           std::to_string(config.batchTimeoutCycles) + ",";
+           std::to_string(config.batching.timeoutCycles) + ",";
     out += "\"batch_marginal_fraction\":" +
-           number(config.batchMarginalFraction);
+           number(config.batching.marginalFraction);
     // Cost-model fields emit only off their defaults so marginal
     // configs — including the checked-in serve golden and the bench
     // baseline — stay byte-identical.
-    if (config.costModel != "marginal")
-        out += ",\"cost_model\":\"" + jsonEscape(config.costModel) +
+    if (config.batching.costModel != "marginal")
+        out += ",\"cost_model\":\"" + jsonEscape(config.batching.costModel) +
                "\"";
     if (config.routeObjective != "cycles")
         out += ",\"route_objective\":\"" +
                jsonEscape(config.routeObjective) + "\"";
     // Off-default means *false* since the default-on flip; legacy
     // opt-out configs are the ones that need to say so.
-    if (!config.deadlineAwareBatching)
+    if (!config.batching.deadlineAware)
         out += ",\"deadline_aware_batching\":false";
     // Streaming-sink knobs emit only when streaming is on (and then
     // only off-default), so materialized configs — every golden —
     // stay byte-identical.
-    if (config.streamingStats) {
+    if (config.stats.streaming) {
         out += ",\"streaming_stats\":true";
-        if (config.statsReservoirCapacity != 65536)
+        if (config.stats.reservoirCapacity != 65536)
             out += ",\"stats_reservoir_capacity\":" +
-                   std::to_string(config.statsReservoirCapacity);
-        if (config.statsFlushEveryRequests != 0)
+                   std::to_string(config.stats.reservoirCapacity);
+        if (config.stats.flushEveryRequests != 0)
             out += ",\"stats_flush_every_requests\":" +
-                   std::to_string(config.statsFlushEveryRequests);
+                   std::to_string(config.stats.flushEveryRequests);
     }
     // The arrival spec emits only off the default "poisson" process
     // (goldens stay byte-identical), and then only the selected
@@ -355,9 +361,55 @@ toJson(const serve::ServeConfig &config)
                 out += ",\"sigma\":" + number(arrival.lognormalSigma);
             else
                 out += ",\"alpha\":" + number(arrival.paretoAlpha);
+        } else if (arrival.process == "correlated") {
+            out += ",\"burst_multiplier\":" +
+                   number(arrival.correlatedBurstMultiplier);
+            out += ",\"mean_dwell_cycles\":" +
+                   number(arrival.correlatedMeanDwellCycles);
+            out += ",\"correlation\":" + number(arrival.correlation);
         } else if (arrival.process == "trace") {
             out += ",\"trace_file\":\"" + jsonEscape(arrival.traceFile) +
                    "\"";
+        }
+        out += "}";
+    }
+    // The control block emits only when the control plane is engaged
+    // (non-static scaling, a power cap, or preemption) — default
+    // configs, and therefore every checked-in golden, skip it — and
+    // then only the engaged halves' knobs.
+    if (config.control.enabled()) {
+        const serve::ControlPlaneSpec &control = config.control;
+        out += ",\"control\":{\"scaling_policy\":\"" +
+               jsonEscape(control.scalingPolicy) + "\"";
+        if (control.intervalCycles != 0)
+            out += ",\"interval_cycles\":" +
+                   std::to_string(control.intervalCycles);
+        if (control.scalingPolicy != "static") {
+            if (control.warmupCycles != 0)
+                out += ",\"warmup_cycles\":" +
+                       std::to_string(control.warmupCycles);
+            if (control.drainCycles != 0)
+                out += ",\"drain_cycles\":" +
+                       std::to_string(control.drainCycles);
+            out += ",\"queue_depth_high\":" +
+                   number(control.queueDepthHigh);
+            out += ",\"queue_depth_low\":" +
+                   number(control.queueDepthLow);
+            out += ",\"slo_burn_high\":" + number(control.sloBurnHigh);
+            if (control.minInstances != 0)
+                out += ",\"min_instances\":" +
+                       std::to_string(control.minInstances);
+            if (control.maxInstances != 0)
+                out += ",\"max_instances\":" +
+                       std::to_string(control.maxInstances);
+        }
+        if (control.powerCapWatts > 0.0)
+            out += ",\"power_cap_watts\":" +
+                   number(control.powerCapWatts);
+        if (control.preemption) {
+            out += ",\"preemption\":true";
+            out += ",\"preemption_overhead_fraction\":" +
+                   number(control.preemptionOverheadFraction);
         }
         out += "}";
     }
@@ -408,11 +460,55 @@ toJson(const serve::ServeResult &result, bool per_request)
     // the (always-zero) counter — so the counter emits for policies
     // that size batches (built-in: "edf"), or whenever a custom
     // policy actually reports caps.
-    if (result.config.deadlineAwareBatching &&
+    if (result.config.batching.deadlineAware &&
         (result.config.policy == "edf" ||
          stats.deadlineCapsAvoided != 0))
         out += ",\"deadline_caps_avoided\":" +
                std::to_string(stats.deadlineCapsAvoided);
+    // Control-plane stats emit only when the control plane is engaged
+    // (matching the config's "control" block), and then only the
+    // engaged halves' counters.
+    if (result.config.control.enabled()) {
+        const serve::ControlPlaneSpec &control = result.config.control;
+        if (control.powerCapWatts > 0.0) {
+            out += ",\"power_deferred_batches\":" +
+                   std::to_string(stats.powerDeferredBatches);
+            out += ",\"peak_cluster_watts\":" +
+                   number(stats.peakClusterWatts);
+            out += ",\"mean_cluster_watts\":" +
+                   number(stats.meanClusterWatts);
+        }
+        if (control.preemption) {
+            out += ",\"preemptions\":" +
+                   std::to_string(stats.preemptions);
+            out += ",\"preempted_cycles\":" +
+                   std::to_string(stats.preemptedCycles);
+        }
+        if (control.scalingPolicy != "static") {
+            out += ",\"scale_up_events\":" +
+                   std::to_string(stats.scaleUpEvents);
+            out += ",\"scale_down_events\":" +
+                   std::to_string(stats.scaleDownEvents);
+            out += ",\"replica_timelines\":[";
+            for (std::size_t c = 0; c < stats.replicaTimelines.size();
+                 ++c) {
+                if (c)
+                    out += ",";
+                out += "[";
+                const auto &timeline = stats.replicaTimelines[c];
+                for (std::size_t s = 0; s < timeline.size(); ++s) {
+                    if (s)
+                        out += ",";
+                    out += "{\"cycle\":" +
+                           std::to_string(timeline[s].cycle) +
+                           ",\"replicas\":" +
+                           std::to_string(timeline[s].replicas) + "}";
+                }
+                out += "]";
+            }
+            out += "]";
+        }
+    }
     // Breakdowns emit only when the config declares the dimension
     // (explicit tenants / an explicit cluster), keeping the default
     // FIFO homogeneous golden byte-identical.
@@ -486,7 +582,7 @@ toJson(const serve::ServeResult &result, bool per_request)
     // The full cost curves emit only for non-default cost models:
     // under "marginal" they are derivable from the unit cycles and
     // the fraction, and the golden must stay byte-identical.
-    if (result.config.costModel != "marginal") {
+    if (result.config.batching.costModel != "marginal") {
         out += "\"unit_cycles_by_batch\":[";
         for (std::size_t c = 0; c < result.cyclesByBatchByClass.size();
              ++c) {
@@ -568,6 +664,8 @@ toJson(const serve::ServeResult &result, bool per_request)
                    (emit_energy
                         ? ",\"joules\":" + number(b.joules)
                         : std::string()) +
+                   (b.preempted ? ",\"preempted\":true"
+                                : std::string()) +
                    ",\"request_ids\":[";
             for (std::size_t j = 0; j < b.requestIds.size(); ++j) {
                 if (j)

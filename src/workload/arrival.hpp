@@ -3,7 +3,8 @@
  * Declarative arrival-process selection for the serving tier. An
  * ArrivalSpec names the registry process shaping request arrivals
  * ("poisson", "diurnal", "flash-crowd", "mmpp", "heavy-tail",
- * "trace") plus that process's parameters, and optionally a path to
+ * "trace", "correlated") plus that process's parameters, and
+ * optionally a path to
  * record the generated stream as a replayable trace. Pure data, so
  * a serving scenario stays data, not code; the process
  * implementations live in workload/arrival_process.hpp and the
@@ -81,6 +82,22 @@ struct ArrivalSpec
 
     /** Lognormal sigma (> 0; larger = heavier tail). */
     double lognormalSigma = 1.0;
+
+    // ---- "correlated": cross-tenant burst correlation -----------
+    /** Rate multiplier while the burst state is active (>= 1). */
+    double correlatedBurstMultiplier = 4.0;
+
+    /** Mean exponential dwell per calm/burst state in cycles; 0
+     *  resolves to 32x the mean gap. */
+    double correlatedMeanDwellCycles = 0.0;
+
+    /**
+     * Probability in [0, 1] that an arrival inside a burst window is
+     * attributed to the window's hot tenant (drawn uniformly at each
+     * burst onset) instead of the configured tenant mix — the
+     * cross-tenant correlation i.i.d. tenant draws cannot express.
+     */
+    double correlation = 0.8;
 
     // ---- "trace": replay a recorded stream ----------------------
     /** Trace file the "trace" process replays (workload/trace.hpp

@@ -74,6 +74,15 @@ ArrivalSpec::validate() const
     if (!(lognormalSigma > 0.0))
         throw std::invalid_argument(
             "workload: lognormalSigma must be > 0");
+    if (!(correlatedBurstMultiplier >= 1.0))
+        throw std::invalid_argument(
+            "workload: correlatedBurstMultiplier must be >= 1");
+    if (!(correlatedMeanDwellCycles >= 0.0))
+        throw std::invalid_argument(
+            "workload: correlatedMeanDwellCycles must be >= 0");
+    if (!(correlation >= 0.0) || correlation > 1.0)
+        throw std::invalid_argument(
+            "workload: correlation must be in [0, 1]");
     if (process == "trace" && traceFile.empty())
         throw std::invalid_argument(
             "workload: the \"trace\" process needs "
@@ -246,6 +255,53 @@ HeavyTailProcess::next(Rng &rng, Cycle, std::uint64_t)
         const double xm = meanGap_ * (alpha_ - 1.0) / alpha_;
         arrival.gap =
             toGap(xm / std::pow(1.0 - u, 1.0 / alpha_));
+    }
+    return arrival;
+}
+
+// ---- correlated ----------------------------------------------------
+
+CorrelatedProcess::CorrelatedProcess(const serve::ServeConfig &config)
+    : meanGap_(config.meanInterarrivalCycles),
+      meanDwell_(config.arrival.correlatedMeanDwellCycles > 0.0
+                     ? config.arrival.correlatedMeanDwellCycles
+                     : 32.0 * config.meanInterarrivalCycles),
+      multiplier_(config.arrival.correlatedBurstMultiplier),
+      correlation_(config.arrival.correlation),
+      numTenants_(static_cast<std::uint32_t>(
+          serve::resolvedTenants(config).size()))
+{
+}
+
+Arrival
+CorrelatedProcess::next(Rng &rng, Cycle now, std::uint64_t)
+{
+    // Dwell times, the hot-tenant draw at each burst onset, and the
+    // per-arrival correlation coin all come off the same stream RNG
+    // as the gaps, so the whole stream is a pure function of
+    // (config, seed).
+    if (!primed_) {
+        primed_ = true;
+        nextTransition_ =
+            std::max<Cycle>(1, toGap(expGap(rng, meanDwell_)));
+    }
+    while (now >= nextTransition_) {
+        burst_ = !burst_;
+        if (burst_)
+            hotTenant_ = std::min<std::uint32_t>(
+                numTenants_ - 1,
+                static_cast<std::uint32_t>(rng.nextDouble() *
+                                           numTenants_));
+        nextTransition_ = serve::satAddCycles(
+            nextTransition_,
+            std::max<Cycle>(1, toGap(expGap(rng, meanDwell_))));
+    }
+    Arrival arrival;
+    arrival.gap = toGap(
+        expGap(rng, burst_ ? meanGap_ / multiplier_ : meanGap_));
+    if (burst_ && rng.nextDouble() < correlation_) {
+        arrival.pinnedTenant = true;
+        arrival.tenant = hotTenant_;
     }
     return arrival;
 }

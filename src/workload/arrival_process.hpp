@@ -7,9 +7,11 @@
  * does). Implementations here cover the generative built-ins —
  * "poisson" (legacy, byte-identical), "diurnal" (sinusoid-modulated
  * rate), "flash-crowd" (scheduled burst windows), "mmpp"
- * (Markov-modulated bursts), "heavy-tail" (Pareto/lognormal gaps).
- * The "trace" replay process lives in workload/trace.hpp. Custom
- * processes register through Registry::registerArrivalProcess.
+ * (Markov-modulated bursts), "heavy-tail" (Pareto/lognormal gaps),
+ * "correlated" (burst windows that pin a hot tenant, correlating
+ * the tenant mix in time). The "trace" replay process lives in
+ * workload/trace.hpp. Custom processes register through
+ * Registry::registerArrivalProcess.
  */
 
 #ifndef HYGCN_WORKLOAD_ARRIVAL_PROCESS_HPP
@@ -40,6 +42,15 @@ struct Arrival
     bool pinned = false;
     std::uint32_t tenant = 0;
     std::uint32_t scenario = 0;
+
+    /**
+     * Pins the tenant only: the generator keeps the recorded tenant
+     * but still draws the scenario from that tenant's configured
+     * mix. The "correlated" process uses this to attribute in-burst
+     * arrivals to the burst's hot tenant. Ignored when `pinned` is
+     * set (full pinning wins).
+     */
+    bool pinnedTenant = false;
 };
 
 /**
@@ -170,6 +181,34 @@ class HeavyTailProcess : public ArrivalProcess
     double alpha_;
     double sigma_;
     bool lognormal_;
+};
+
+/**
+ * Cross-tenant burst correlation: a two-state calm/burst chain (like
+ * a two-state MMPP) where each burst window additionally draws one
+ * "hot" tenant uniformly at onset, and every in-burst arrival is
+ * attributed to that tenant with probability `correlation` (the
+ * tenant pin; scenario still follows the hot tenant's configured
+ * mix). Models the flash-crowd reality PR 6's processes could not:
+ * bursts are not tenant-i.i.d. — one tenant's audience shows up
+ * together.
+ */
+class CorrelatedProcess : public ArrivalProcess
+{
+  public:
+    explicit CorrelatedProcess(const serve::ServeConfig &config);
+    Arrival next(Rng &rng, Cycle now, std::uint64_t index) override;
+
+  private:
+    double meanGap_;
+    double meanDwell_;
+    double multiplier_;
+    double correlation_;
+    std::uint32_t numTenants_;
+    std::uint32_t hotTenant_ = 0;
+    bool burst_ = false;
+    Cycle nextTransition_ = 0;
+    bool primed_ = false;
 };
 
 } // namespace hygcn::workload

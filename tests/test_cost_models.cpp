@@ -41,8 +41,8 @@ aggConfig()
     config.numRequests = 48;
     config.meanInterarrivalCycles = 20000.0;
     config.instances = 2;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 50000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 50000;
     return config;
 }
 
@@ -95,11 +95,11 @@ TEST(CostModelRegistry, BuiltinsRegisteredAndConstructible)
 TEST(CostModelRegistry, UnknownModelFailsAtRun)
 {
     ServeConfig config = aggConfig();
-    config.costModel = "psychic";
+    config.batching.costModel = "psychic";
     // The model name is resolved at run(), like platform keys.
     EXPECT_THROW(Scheduler(config).run(), std::out_of_range);
     // But never accepted empty.
-    config.costModel = "";
+    config.batching.costModel = "";
     EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
@@ -178,7 +178,7 @@ TEST_P(CostModelProperties, CurveIsAnchoredMonotoneAndSubadditive)
     // independent unit runs (the scheduler could always fall back to
     // serving members one by one).
     ServeConfig config = hygcnConfig();
-    config.costModel = GetParam();
+    config.batching.costModel = GetParam();
     api::RunSpec spec = config.scenarios[0].spec;
     spec.platform = config.platform;
 
@@ -186,7 +186,7 @@ TEST_P(CostModelProperties, CurveIsAnchoredMonotoneAndSubadditive)
         PricedScenarioCache::global().priceCurve(config.platform, spec,
                                                  config);
     const std::vector<Cycle> &curve = priced.cyclesByBatch;
-    ASSERT_EQ(curve.size(), config.maxBatch);
+    ASSERT_EQ(curve.size(), config.batching.maxBatch);
     const Cycle unit = priced.unitCycles();
     EXPECT_GT(unit, 0u);
     EXPECT_EQ(curve.front(), unit);
@@ -207,7 +207,7 @@ TEST(AnalyticCostModel, AmortizesRealWeightLoadOnHygcn)
     // analytic curve must price a batch of B strictly below B
     // independent runs by exactly (B-1) weight loads.
     ServeConfig config = hygcnConfig();
-    config.costModel = "analytic";
+    config.batching.costModel = "analytic";
     api::RunSpec spec = config.scenarios[0].spec;
     spec.platform = config.platform;
     const PricedScenarioCache::Priced priced =
@@ -229,12 +229,12 @@ TEST(MeasuredCostModel, MemoizesPerBatchSizeInThePricedCache)
     cache.clear();
 
     ServeConfig config = aggConfig();
-    config.costModel = "measured";
+    config.batching.costModel = "measured";
     runServe(config);
-    // One curve entry plus one unit entry per batch size 1..maxBatch
+    // One curve entry plus one unit entry per batch size 1..batching.maxBatch
     // (the co-batch runs memoize as RunSpec::batchCopies entries).
     const std::uint64_t misses_first = cache.misses();
-    EXPECT_EQ(misses_first, 1u + config.maxBatch);
+    EXPECT_EQ(misses_first, 1u + config.batching.maxBatch);
 
     // Replays — same scenario, different traffic — price nothing new.
     config.seed += 1;
@@ -243,7 +243,7 @@ TEST(MeasuredCostModel, MemoizesPerBatchSizeInThePricedCache)
 
     // A larger maxBatch re-runs only the new batch sizes: the shared
     // unit entries for 1..4 hit.
-    config.maxBatch = 6;
+    config.batching.maxBatch = 6;
     runServe(config);
     EXPECT_EQ(cache.misses(), misses_first + 1u + 2u);
 }
@@ -251,13 +251,14 @@ TEST(MeasuredCostModel, MemoizesPerBatchSizeInThePricedCache)
 TEST(MeasuredCostModel, ServesAndKeepsConservation)
 {
     ServeConfig config = aggConfig();
-    config.costModel = "measured";
+    config.batching.costModel = "measured";
     const ServeResult result = runServe(config);
     ASSERT_EQ(result.requests.size(), config.numRequests);
     EXPECT_GT(result.stats.throughputRps, 0.0);
     // The echoed curves are what the dispatches used.
     ASSERT_EQ(result.cyclesByBatchByClass.size(), 1u);
-    ASSERT_EQ(result.cyclesByBatchByClass[0][0].size(), config.maxBatch);
+    ASSERT_EQ(result.cyclesByBatchByClass[0][0].size(),
+              config.batching.maxBatch);
     for (const BatchRecord &batch : result.batches)
         EXPECT_EQ(batch.serviceCycles(),
                   curveAt(result.cyclesByBatchByClass[0][batch.scenario],
@@ -275,7 +276,7 @@ TEST(EdfDeadlineAwareBatching, CapsFillWhereTheCurveBlowsTheDeadline)
 {
     ServeConfig config = aggConfig();
     config.policy = "edf";
-    config.deadlineAwareBatching = true;
+    config.batching.deadlineAware = true;
     EdfPolicy policy(config);
     policy.bindCostOracle([](std::uint32_t, std::size_t batch) {
         return static_cast<Cycle>(100 * batch);
@@ -335,9 +336,9 @@ TEST(EdfDeadlineAwareBatching, NeverServesTheSloTenantWorse)
     config.tenants = {TenantMix{"interactive", 1.0, {}, 150000, 0.0},
                       TenantMix{"analytics", 1.0, {}, 0, 0.0}};
 
-    config.deadlineAwareBatching = false; // the legacy opt-out
+    config.batching.deadlineAware = false; // the legacy opt-out
     const ServeResult plain = runServe(config);
-    config.deadlineAwareBatching = true;
+    config.batching.deadlineAware = true;
     const ServeResult capped = runServe(config);
 
     EXPECT_LE(capped.stats.tenantStats[0].sloViolations,
@@ -366,7 +367,7 @@ TEST(ServeSession, CostModelAndDeadlineKnobsFillConfig)
                                           .scenario("cora", "gcn")
                                           .costModel("analytic")
                                           .deadlineAwareBatching();
-    EXPECT_EQ(session.config().costModel, "analytic");
-    EXPECT_TRUE(session.config().deadlineAwareBatching);
+    EXPECT_EQ(session.config().batching.costModel, "analytic");
+    EXPECT_TRUE(session.config().batching.deadlineAware);
     session.config().validate();
 }

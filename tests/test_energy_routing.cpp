@@ -46,8 +46,8 @@ hygcnConfig()
     config.numRequests = 48;
     config.meanInterarrivalCycles = 20000.0;
     config.instances = 2;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 50000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 50000;
     return config;
 }
 
@@ -110,14 +110,14 @@ stubClusterConfig()
     config.cluster.classes = {{"stub-fast-hot", 1, {}, "hot"},
                               {"stub-slow-cool", 1, {}, "cool"}};
     config.scenarios = {{"stub/gcn", {}}};
-    config.maxBatch = 2;
+    config.batching.maxBatch = 2;
     config.numRequests = 24;
     // Arrivals three orders beyond either service time: under the
     // fixed seed every batch finds both classes free, so the routing
     // choice is purely the objective's (work-conserving fallover to
     // a busy class never triggers).
     config.meanInterarrivalCycles = 2e9;
-    config.batchTimeoutCycles = 0;
+    config.batching.timeoutCycles = 0;
     return config;
 }
 
@@ -148,10 +148,10 @@ tieClusterConfig()
     config.cluster.classes = {{"stub-tie-a", 1, {}, "a"},
                               {"stub-tie-b", 1, {}, "b"}};
     config.scenarios = {{"stub/gcn", {}}};
-    config.maxBatch = 2;
+    config.batching.maxBatch = 2;
     config.numRequests = 24;
     config.meanInterarrivalCycles = 2e9;
-    config.batchTimeoutCycles = 0;
+    config.batching.timeoutCycles = 0;
     return config;
 }
 
@@ -302,7 +302,7 @@ TEST_P(EnergyCurveProperties, CurveIsAnchoredMonotoneAndSubadditive)
     // subadditive versus B independent unit runs — the same three
     // invariants the cycles curve keeps.
     ServeConfig config = hygcnConfig();
-    config.costModel = GetParam();
+    config.batching.costModel = GetParam();
     api::RunSpec spec = config.scenarios[0].spec;
     spec.platform = config.platform;
 
@@ -310,8 +310,8 @@ TEST_P(EnergyCurveProperties, CurveIsAnchoredMonotoneAndSubadditive)
         PricedScenarioCache::global().priceCurve(config.platform, spec,
                                                  config);
     const std::vector<double> &curve = priced.joulesByBatch;
-    ASSERT_EQ(curve.size(), config.maxBatch);
-    ASSERT_EQ(priced.cyclesByBatch.size(), config.maxBatch);
+    ASSERT_EQ(curve.size(), config.batching.maxBatch);
+    ASSERT_EQ(priced.cyclesByBatch.size(), config.batching.maxBatch);
     const double unit = priced.unitJoules();
     EXPECT_GT(unit, 0.0);
     EXPECT_DOUBLE_EQ(curve.front(), unit);
@@ -333,7 +333,7 @@ TEST(AnalyticEnergyCurve, AmortizesRealWeightLoadOnHygcn)
     // energy twin must price a batch of B below B independent runs by
     // exactly (B-1) weight-fetch energies.
     ServeConfig config = hygcnConfig();
-    config.costModel = "analytic";
+    config.batching.costModel = "analytic";
     api::RunSpec spec = config.scenarios[0].spec;
     spec.platform = config.platform;
     const PricedScenarioCache::Priced priced =
@@ -502,11 +502,11 @@ TEST(ServeSweep, ObjectiveAndMaxBatchAxesExpandDeterministically)
     ASSERT_EQ(configs.size(), 6u);
     // Objectives outermost of the two, maxBatch inner.
     EXPECT_EQ(configs[0].routeObjective, "cycles");
-    EXPECT_EQ(configs[0].maxBatch, 1u);
-    EXPECT_EQ(configs[1].maxBatch, 2u);
+    EXPECT_EQ(configs[0].batching.maxBatch, 1u);
+    EXPECT_EQ(configs[1].batching.maxBatch, 2u);
     EXPECT_EQ(configs[2].routeObjective, "energy");
     EXPECT_EQ(configs[5].routeObjective, "edp");
-    EXPECT_EQ(configs[5].maxBatch, 2u);
+    EXPECT_EQ(configs[5].batching.maxBatch, 2u);
     for (const ServeConfig &config : configs)
         config.validate();
 

@@ -31,8 +31,8 @@ aggConfig()
     config.numRequests = 64;
     config.meanInterarrivalCycles = 20000.0;
     config.instances = 2;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 50000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 50000;
     return config;
 }
 
@@ -132,7 +132,7 @@ TEST(ServeConfig, ValidationRejectsUnserveableConfigs)
     EXPECT_THROW(bad.validate(), std::invalid_argument);
 
     bad = aggConfig();
-    bad.maxBatch = 0;
+    bad.batching.maxBatch = 0;
     EXPECT_THROW(bad.validate(), std::invalid_argument);
 
     bad = aggConfig();
@@ -255,9 +255,9 @@ TEST(ServeSession, FluentBuilderFillsConfig)
     EXPECT_EQ(config.tenants[0].name, "interactive");
     EXPECT_EQ(config.numRequests, 128u);
     EXPECT_EQ(config.instances, 3u);
-    EXPECT_EQ(config.maxBatch, 5u);
-    EXPECT_EQ(config.batchTimeoutCycles, 75000u);
-    EXPECT_DOUBLE_EQ(config.batchMarginalFraction, 0.5);
+    EXPECT_EQ(config.batching.maxBatch, 5u);
+    EXPECT_EQ(config.batching.timeoutCycles, 75000u);
+    EXPECT_DOUBLE_EQ(config.batching.marginalFraction, 0.5);
     config.validate();
 }
 
@@ -376,7 +376,7 @@ TEST(Scheduler, RunsAgainstAnInjectedStubPlatform)
     };
 
     ServeConfig config = aggConfig();
-    config.maxBatch = 1; // every batch is one request
+    config.batching.maxBatch = 1; // every batch is one request
     const ServeResult result = Scheduler(config).run(StubPlatform{});
     ASSERT_EQ(result.scenarioUnitCycles.size(), 2u);
     EXPECT_EQ(result.scenarioUnitCycles[0], 10000u);

@@ -38,8 +38,8 @@ makeConfig(std::uint32_t instances, std::uint32_t max_batch,
     config.numRequests = 96;
     config.meanInterarrivalCycles = 15000.0;
     config.instances = instances;
-    config.maxBatch = max_batch;
-    config.batchTimeoutCycles = timeout;
+    config.batching.maxBatch = max_batch;
+    config.batching.timeoutCycles = timeout;
     config.seed = seed;
     return config;
 }
@@ -54,7 +54,7 @@ checkInvariants(const ServeConfig &config, const ServeResult &result)
     std::uint64_t batched_count = 0;
     for (const BatchRecord &batch : result.batches) {
         EXPECT_FALSE(batch.requestIds.empty());
-        EXPECT_LE(batch.requestIds.size(), config.maxBatch);
+        EXPECT_LE(batch.requestIds.size(), config.batching.maxBatch);
         for (std::uint64_t id : batch.requestIds) {
             EXPECT_TRUE(batched_ids.insert(id).second)
                 << "request " << id << " served twice";

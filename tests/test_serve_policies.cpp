@@ -43,8 +43,8 @@ aggConfig()
     config.numRequests = 64;
     config.meanInterarrivalCycles = 20000.0;
     config.instances = 2;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 50000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 50000;
     return config;
 }
 
@@ -70,7 +70,7 @@ checkConservation(const ServeConfig &config, const ServeResult &result)
     std::uint64_t batched = 0;
     for (const BatchRecord &batch : result.batches) {
         ASSERT_FALSE(batch.requestIds.empty());
-        EXPECT_LE(batch.requestIds.size(), config.maxBatch);
+        EXPECT_LE(batch.requestIds.size(), config.batching.maxBatch);
         // Same-scenario co-batching only.
         for (std::uint64_t id : batch.requestIds) {
             EXPECT_TRUE(seen.insert(id).second);
@@ -161,8 +161,8 @@ TEST(EdfPolicy, NeverInvertsDeadlinesAcrossDispatches)
     // already arrived, can never have a strictly earlier deadline.
     ServeConfig config = aggConfig();
     config.policy = "edf";
-    config.maxBatch = 1;
-    config.batchTimeoutCycles = 0;
+    config.batching.maxBatch = 1;
+    config.batching.timeoutCycles = 0;
     config.numRequests = 96;
     config.meanInterarrivalCycles = 15000.0;
     config.tenants = {TenantMix{"interactive", 1.0, {}, 60000, 0.0},
@@ -223,8 +223,8 @@ TEST(FairSharePolicy, DividesServiceByQuotaWhileBacklogged)
     // must interleave 3:1 by virtual time.
     ServeConfig config = aggConfig();
     config.scenarios.resize(1);
-    config.maxBatch = 1;
-    config.batchTimeoutCycles = 0;
+    config.batching.maxBatch = 1;
+    config.batching.timeoutCycles = 0;
     config.tenants = {TenantMix{"heavy", 1.0, {}, 0, 3.0},
                       TenantMix{"light", 1.0, {}, 0, 1.0}};
     FairSharePolicy policy(config);
@@ -295,8 +295,8 @@ TEST(Cluster, RoutesToCheapestClassUnderLightLoad)
     ServeConfig config = aggConfig();
     config.cluster.classes = {{"hygcn", 1, {}, ""},
                               {"pyg-cpu", 1, {}, ""}};
-    config.maxBatch = 1;
-    config.batchTimeoutCycles = 0;
+    config.batching.maxBatch = 1;
+    config.batching.timeoutCycles = 0;
     config.numRequests = 24;
     config.meanInterarrivalCycles = 5e7; // far beyond any unit cost
     const ServeResult result = runServe(config);

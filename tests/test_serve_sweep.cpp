@@ -36,8 +36,8 @@ baseConfig()
     config.numRequests = 32;
     config.meanInterarrivalCycles = 20000.0;
     config.instances = 2;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 50000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 50000;
     return config;
 }
 
@@ -54,18 +54,18 @@ TEST(ServeSweep, ExpandsTheCartesianProductInDeclarationOrder)
     ASSERT_EQ(configs.size(), 8u);
     // Policies outermost, arrival rates innermost.
     EXPECT_EQ(configs[0].policy, "fifo");
-    EXPECT_EQ(configs[0].costModel, "marginal");
+    EXPECT_EQ(configs[0].batching.costModel, "marginal");
     EXPECT_DOUBLE_EQ(configs[0].meanInterarrivalCycles, 20000.0);
     EXPECT_DOUBLE_EQ(configs[1].meanInterarrivalCycles, 10000.0);
-    EXPECT_EQ(configs[2].costModel, "analytic");
+    EXPECT_EQ(configs[2].batching.costModel, "analytic");
     EXPECT_EQ(configs[4].policy, "edf");
     EXPECT_EQ(configs[7].policy, "edf");
-    EXPECT_EQ(configs[7].costModel, "analytic");
+    EXPECT_EQ(configs[7].batching.costModel, "analytic");
     EXPECT_DOUBLE_EQ(configs[7].meanInterarrivalCycles, 10000.0);
     // Unvaried knobs carry over from the base.
     for (const ServeConfig &config : configs) {
         EXPECT_EQ(config.numRequests, 32u);
-        EXPECT_EQ(config.maxBatch, 4u);
+        EXPECT_EQ(config.batching.maxBatch, 4u);
         config.validate();
     }
 }
@@ -74,13 +74,13 @@ TEST(ServeSweep, UnsetAxesFallBackToTheBase)
 {
     ServeConfig base = baseConfig();
     base.policy = "fair-share";
-    base.costModel = "analytic";
+    base.batching.costModel = "analytic";
     api::ServeSweep sweep{base};
     EXPECT_EQ(sweep.size(), 1u);
     const std::vector<ServeConfig> configs = sweep.expand();
     ASSERT_EQ(configs.size(), 1u);
     EXPECT_EQ(configs[0].policy, "fair-share");
-    EXPECT_EQ(configs[0].costModel, "analytic");
+    EXPECT_EQ(configs[0].batching.costModel, "analytic");
 }
 
 TEST(ServeSweep, ClusterAxisSweepsClusterShapes)

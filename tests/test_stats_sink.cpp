@@ -89,8 +89,8 @@ sinkClusterConfig()
         TenantMix{"analytics", 0.3, {1.0, 3.0}, 0, 1.0}};
     config.numRequests = 600;
     config.meanInterarrivalCycles = 400000.0;
-    config.maxBatch = 4;
-    config.batchTimeoutCycles = 100000;
+    config.batching.maxBatch = 4;
+    config.batching.timeoutCycles = 100000;
     config.seed = 7;
     return config;
 }
@@ -227,7 +227,7 @@ TEST(StreamingStats, MatchesMaterializedAcrossPoliciesAndArrivals)
             config.arrival.process = process;
 
             ServeConfig streamed = config;
-            streamed.streamingStats = true;
+            streamed.stats.streaming = true;
 
             const ServeResult mat = Scheduler(config).run();
             const ServeResult str = Scheduler(streamed).run();
@@ -240,7 +240,7 @@ TEST(StreamingStats, MatchesMaterializedAcrossPoliciesAndArrivals)
 TEST(StreamingStats, StreamingRunMaterializesNoRecords)
 {
     ServeConfig config = sinkClusterConfig();
-    config.streamingStats = true;
+    config.stats.streaming = true;
     const ServeResult result = Scheduler(config).run();
     EXPECT_TRUE(result.requests.empty());
     EXPECT_TRUE(result.batches.empty());
@@ -251,8 +251,8 @@ TEST(StreamingStats, StreamingRunMaterializesNoRecords)
 TEST(StreamingStats, TinyReservoirStillBoundsPercentiles)
 {
     ServeConfig config = sinkClusterConfig();
-    config.streamingStats = true;
-    config.statsReservoirCapacity = 32; // far below 600 requests
+    config.stats.streaming = true;
+    config.stats.reservoirCapacity = 32; // far below 600 requests
     const ServeResult result = Scheduler(config).run();
     EXPECT_GT(result.stats.p99LatencyCycles, 0.0);
     EXPECT_LE(result.stats.p50LatencyCycles,
@@ -264,8 +264,8 @@ TEST(StreamingStats, TinyReservoirStillBoundsPercentiles)
 TEST(StreamingStats, ConfigRejectsZeroCapacityReservoir)
 {
     ServeConfig config = sinkClusterConfig();
-    config.streamingStats = true;
-    config.statsReservoirCapacity = 0;
+    config.stats.streaming = true;
+    config.stats.reservoirCapacity = 0;
     EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
@@ -279,7 +279,7 @@ TEST(StreamingStats, JsonEmitsStreamingKnobsOffDefaultOnly)
     EXPECT_EQ(defaults.find("stats_reservoir_capacity"),
               std::string::npos);
 
-    config.streamingStats = true;
+    config.stats.streaming = true;
     const std::string streaming = toJson(config);
     EXPECT_NE(streaming.find("\"streaming_stats\":true"),
               std::string::npos);
@@ -290,8 +290,8 @@ TEST(StreamingStats, JsonEmitsStreamingKnobsOffDefaultOnly)
     EXPECT_EQ(streaming.find("stats_flush_every_requests"),
               std::string::npos);
 
-    config.statsReservoirCapacity = 1024;
-    config.statsFlushEveryRequests = 100;
+    config.stats.reservoirCapacity = 1024;
+    config.stats.flushEveryRequests = 100;
     const std::string tuned = toJson(config);
     EXPECT_NE(tuned.find("\"stats_reservoir_capacity\":1024"),
               std::string::npos);
