@@ -23,6 +23,11 @@ The bench schema is selected by the documents' "bench" field:
   8x (serve_scale --baseline), so the gate trips on
   order-of-magnitude simulator-throughput regressions, not host
   noise.
+- spmm_kernels: compares the single-thread vectorized speedup of the
+  functional-core kernels over the scalar reference loops per case
+  (higher is better). A within-process wallclock ratio, recorded
+  derated 2x (spmm_kernels --baseline), so the gate catches the
+  kernels regressing toward scalar-grade code, not host noise.
 
 Except for serve_scale, all metrics derive from simulated cycles and
 the deterministic energy model, both fixed by the config, so any
@@ -74,6 +79,17 @@ SCHEMAS = {
         # catches order-of-magnitude event-loop regressions rather
         # than host noise.
         ("series", "case", "sim_rps", "higher"),
+    ),
+    "spmm_kernels": (
+        # Single-thread vectorized speedup of the functional-core
+        # kernels over the scalar reference loops. A wallclock ratio
+        # measured inside one process, so mostly host-independent;
+        # the baseline is still recorded derated 2x (spmm_kernels
+        # --baseline) and the gate trips when the kernels fall back
+        # toward scalar-grade code, not on host noise. Thread-scaling
+        # columns are reported but not gated: CI runners are often
+        # single-core.
+        ("cases", "case", "speedup_vec", "higher"),
     ),
     "serve_powercap": (
         # Flash crowd under a power cap: tail latency must not grow,

@@ -104,6 +104,12 @@ applyParam(RunSpec &spec, const std::string &key, double value)
         spec.sampleFactor = asU32(value);
     else if (key == "datasetScale")
         spec.datasetScale = value;
+    else if (key == "threads") {
+        if (value < 0.0 || value > 64.0)
+            throw std::invalid_argument(
+                "api: threads out of range (0..64)");
+        spec.threads = static_cast<int>(std::llround(value));
+    }
     else
         throw std::invalid_argument("api: unknown sweep parameter \"" +
                                     key + "\"");

@@ -88,6 +88,14 @@ struct RunSpec
      */
     std::uint32_t batchCopies = 1;
 
+    /**
+     * Kernel threads for functional-mode execution: > 0 exact, 0
+     * (default) = auto via the HYGCN_THREADS environment knob,
+     * falling back to 1. Functional outputs are byte-identical at
+     * any setting; timing-only runs ignore it.
+     */
+    int threads = 0;
+
     /** Accelerator configuration (used by the HyGCN platforms). */
     HyGCNConfig hygcn;
 
@@ -157,7 +165,8 @@ class Platform
  * ("sparsityElimination", "interEnginePipeline", "memoryCoordination",
  * "pipelineMode": 0 latency-aware / 1 energy-aware, "aggMode":
  * 0 vertex-disperse / 1 vertex-concentrated), "clockHz", and
- * the run knobs "seed", "numLayers", "sampleFactor", "datasetScale".
+ * the run knobs "seed", "numLayers", "sampleFactor", "datasetScale",
+ * and "threads" (functional kernel threads; 0 = auto).
  * Throws std::invalid_argument on an unknown key.
  */
 void applyParam(RunSpec &spec, const std::string &key, double value);

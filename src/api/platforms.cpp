@@ -21,6 +21,7 @@
 #include "graph/sampling.hpp"
 #include "graph/window.hpp"
 #include "model/layer.hpp"
+#include "model/reference.hpp"
 
 namespace hygcn::api {
 
@@ -92,6 +93,7 @@ class HyGCNPlatform : public Platform
         RunResult out;
         out.spec = spec;
         HyGCNAccelerator accel(spec.hygcn);
+        accel.setFunctionalThreads(spec.threads);
         AcceleratorResult r =
             accel.run(data, model, params, x0_ptr, spec.seed,
                       spec.withReadout,
@@ -188,7 +190,13 @@ class AggOnlyPlatform : public Platform
     }
 };
 
-/** PyG-CPU baseline (naive or partition-optimized). */
+/**
+ * PyG-CPU baseline (naive or partition-optimized). Timing and energy
+ * come from the calibrated cost model; spec.functional additionally
+ * executes the model through the vectorized kernel core
+ * (ReferenceExecutor), honoring spec.threads — the CPU baseline is
+ * the natural host for actual multithreaded CPU inference.
+ */
 class CpuPlatform : public Platform
 {
   public:
@@ -201,15 +209,36 @@ class CpuPlatform : public Platform
 
     RunResult run(const RunSpec &spec) const override
     {
-        rejectUnsupported(spec, name());
+        if (spec.collectTrace)
+            throw std::invalid_argument(
+                "api: platform \"" + name() +
+                "\" has no engine trace (collectTrace is not "
+                "supported)");
+        if (spec.withReadout && !spec.functional)
+            throw std::invalid_argument(
+                "api: platform \"" + name() +
+                "\" computes Readout in functional mode only");
         const Dataset &data = specDataset(spec);
+        const ModelConfig model = specModel(spec, data);
         CpuModel cpu;
         CpuRunOptions options;
         options.partitionOptimized = partitionOptimized_;
         RunResult out;
         out.spec = spec;
-        out.report =
-            cpu.run(data, specModel(spec, data), spec.seed, options);
+        out.report = cpu.run(data, model, spec.seed, options);
+        if (spec.functional) {
+            const ModelParams params = makeParams(model, spec.seed);
+            const Matrix x0 = makeFeatures(data.numVertices(),
+                                           data.featureLen, spec.seed);
+            ReferenceExecutor ref(data.graph, data.graphBoundaries);
+            ref.setThreads(spec.threads);
+            ReferenceResult r = ref.run(model, params, x0, spec.seed,
+                                        spec.withReadout);
+            out.layerOutputs = std::move(r.layerOutputs);
+            out.readout = std::move(r.readout);
+            out.pooledX = std::move(r.pooledX);
+            out.pooledA = std::move(r.pooledA);
+        }
         return out;
     }
 

@@ -9,10 +9,12 @@ namespace hygcn::api {
 ServeSession::ServeSession(serve::ServeConfig config)
     : config_(std::move(config))
 {
-    // Scenarios added later default to the scale the incoming config
-    // already uses, not full size.
-    if (!config_.scenarios.empty())
+    // Scenarios added later default to the scale (and kernel thread
+    // count) the incoming config already uses, not full size.
+    if (!config_.scenarios.empty()) {
         datasetScale_ = config_.scenarios.front().spec.datasetScale;
+        kernelThreads_ = config_.scenarios.front().spec.threads;
+    }
 }
 
 ServeSession
@@ -101,6 +103,7 @@ ServeSession::scenario(const std::string &dataset, const std::string &model)
         scenario.spec.modelName = model;
     }
     scenario.spec.datasetScale = datasetScale_;
+    scenario.spec.threads = kernelThreads_;
     config_.scenarios.push_back(std::move(scenario));
     return *this;
 }
@@ -118,6 +121,15 @@ ServeSession::datasetScale(double scale)
     datasetScale_ = scale;
     for (serve::ServeScenario &scenario : config_.scenarios)
         scenario.spec.datasetScale = scale;
+    return *this;
+}
+
+ServeSession &
+ServeSession::kernelThreads(int count)
+{
+    kernelThreads_ = count;
+    for (serve::ServeScenario &scenario : config_.scenarios)
+        scenario.spec.threads = count;
     return *this;
 }
 

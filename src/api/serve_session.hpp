@@ -86,6 +86,14 @@ class ServeSession
      */
     ServeSession &datasetScale(double scale);
 
+    /**
+     * Functional kernel threads (RunSpec::threads) for every
+     * scenario: applied to the ones already added and to every
+     * scenario() that follows. Inert for timing-only pricing runs;
+     * carried so functional replays of served scenarios inherit it.
+     */
+    ServeSession &kernelThreads(int count);
+
     // ---- traffic -----------------------------------------------
     /** Add a tenant; empty weights select scenarios uniformly. */
     ServeSession &tenant(const std::string &name, double weight,
@@ -197,6 +205,7 @@ class ServeSession
   private:
     serve::ServeConfig config_;
     double datasetScale_ = 0.0;
+    int kernelThreads_ = 0;
 };
 
 } // namespace hygcn::api

@@ -109,6 +109,13 @@ ServeSweep::powerCapsWatts(std::vector<double> watts)
 }
 
 ServeSweep &
+ServeSweep::kernelThreads(std::vector<int> counts)
+{
+    kernelThreads_ = std::move(counts);
+    return *this;
+}
+
+ServeSweep &
 ServeSweep::seeds(std::vector<std::uint64_t> seeds)
 {
     seeds_ = std::move(seeds);
@@ -134,6 +141,7 @@ ServeSweep::size() const
            std::max<std::size_t>(arrivalProcesses_.size(), 1) *
            std::max<std::size_t>(scalingPolicies_.size(), 1) *
            std::max<std::size_t>(powerCapsWatts_.size(), 1) *
+           std::max<std::size_t>(kernelThreads_.size(), 1) *
            std::max<std::size_t>(seeds_.size(), 1);
 }
 
@@ -178,45 +186,60 @@ ServeSweep::expand() const
     const std::vector<std::uint64_t> seeds =
         seeds_.empty() ? std::vector<std::uint64_t>{base_.seed}
                        : seeds_;
+    // Unset => keep whatever each base scenario already carries.
+    const std::vector<int> kernel_threads =
+        kernelThreads_.empty() ? std::vector<int>{-1} : kernelThreads_;
 
     std::vector<serve::ServeConfig> configs;
     configs.reserve(size());
-    for (const std::string &policy : policies)
-        for (const std::string &cost_model : cost_models)
-            for (const std::string &objective : objectives)
-                for (const serve::ClusterSpec &cluster : clusters)
-                    for (std::uint32_t max_batch : max_batches)
-                        for (double rate : rates)
-                            for (const std::string &process : processes)
-                                for (const std::string &scaling :
-                                     scaling_policies)
-                                    for (double cap : power_caps)
-                                        for (std::uint64_t seed :
-                                             seeds) {
-                                            serve::ServeConfig config =
-                                                base_;
-                                            config.policy = policy;
-                                            config.batching.costModel =
-                                                cost_model;
-                                            config.routeObjective =
-                                                objective;
-                                            config.cluster = cluster;
-                                            config.batching.maxBatch =
-                                                max_batch;
-                                            config
-                                                .meanInterarrivalCycles =
-                                                rate;
-                                            config.arrival.process =
-                                                process;
-                                            config.control
-                                                .scalingPolicy =
-                                                scaling;
-                                            config.control
-                                                .powerCapWatts = cap;
-                                            config.seed = seed;
-                                            configs.push_back(
-                                                std::move(config));
-                                        }
+    // The cartesian product, flattened: policies outermost, seeds
+    // innermost, matching the documented expansion order.
+    const std::size_t total = size();
+    for (std::size_t i = 0; i < total; ++i) {
+        std::size_t rest = i;
+        const std::uint64_t seed = seeds[rest % seeds.size()];
+        rest /= seeds.size();
+        const int kt = kernel_threads[rest % kernel_threads.size()];
+        rest /= kernel_threads.size();
+        const double cap = power_caps[rest % power_caps.size()];
+        rest /= power_caps.size();
+        const std::string &scaling =
+            scaling_policies[rest % scaling_policies.size()];
+        rest /= scaling_policies.size();
+        const std::string &process = processes[rest % processes.size()];
+        rest /= processes.size();
+        const double rate = rates[rest % rates.size()];
+        rest /= rates.size();
+        const std::uint32_t max_batch =
+            max_batches[rest % max_batches.size()];
+        rest /= max_batches.size();
+        const serve::ClusterSpec &cluster =
+            clusters[rest % clusters.size()];
+        rest /= clusters.size();
+        const std::string &objective =
+            objectives[rest % objectives.size()];
+        rest /= objectives.size();
+        const std::string &cost_model =
+            cost_models[rest % cost_models.size()];
+        rest /= cost_models.size();
+        const std::string &policy = policies[rest % policies.size()];
+
+        serve::ServeConfig config = base_;
+        config.policy = policy;
+        config.batching.costModel = cost_model;
+        config.routeObjective = objective;
+        config.cluster = cluster;
+        config.batching.maxBatch = max_batch;
+        config.meanInterarrivalCycles = rate;
+        config.arrival.process = process;
+        config.control.scalingPolicy = scaling;
+        config.control.powerCapWatts = cap;
+        if (kt >= 0)
+            for (serve::ServeScenario &scenario : config.scenarios)
+                scenario.spec.threads = kt;
+        config.seed = seed;
+        configs.push_back(std::move(config));
+    }
     return configs;
 }
 

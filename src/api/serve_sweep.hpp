@@ -5,8 +5,8 @@
  * a base ServeConfig (or a ServeSession under construction) and
  * varies scheduling policy x batch cost model x routing objective x
  * cluster shape x max batch size x arrival rate x arrival process x
- * scaling policy x power cap x seed, executing the expansion on a
- * std::thread worker pool:
+ * scaling policy x power cap x kernel threads x seed, executing the
+ * expansion on a std::thread worker pool:
  *
  *   auto results = ServeSweep(session.config())
  *                      .policies({"fifo", "edf"})
@@ -125,6 +125,14 @@ class ServeSweep
     ServeSweep &powerCapsWatts(std::vector<double> watts);
 
     /**
+     * Functional kernel thread counts (RunSpec::threads, applied to
+     * every scenario of the expanded config; 0 = auto). Inert for
+     * timing-only pricing, but carried through the specs so
+     * functional replays of sweep points inherit the setting.
+     */
+    ServeSweep &kernelThreads(std::vector<int> counts);
+
+    /**
      * Seed replicates, innermost axis: every other sweep point runs
      * once per seed, and runAggregated() folds the replicates into
      * one ServeAggregate with error bars.
@@ -141,8 +149,8 @@ class ServeSweep
      * Expand the cartesian product into concrete configs, in
      * deterministic declaration order: policies outermost, then cost
      * models, objectives, clusters, max batch sizes, arrival rates,
-     * arrival processes, scaling policies, power caps, and seed
-     * replicates innermost.
+     * arrival processes, scaling policies, power caps, kernel thread
+     * counts, and seed replicates innermost.
      */
     std::vector<serve::ServeConfig> expand() const;
 
@@ -173,6 +181,7 @@ class ServeSweep
     std::vector<std::string> arrivalProcesses_;
     std::vector<std::string> scalingPolicies_;
     std::vector<double> powerCapsWatts_;
+    std::vector<int> kernelThreads_;
     std::vector<std::uint64_t> seeds_;
     unsigned threads_ = 0;
 };

@@ -259,6 +259,13 @@ Session::sampleFactor(std::uint32_t factor)
 }
 
 Session &
+Session::kernelThreads(int count)
+{
+    sweep_.base.threads = count;
+    return *this;
+}
+
+Session &
 Session::config(const HyGCNConfig &config)
 {
     sweep_.base.hygcn = config;

@@ -88,6 +88,14 @@ class Session
     Session &sampleFactor(std::uint32_t factor);
     Session &config(const HyGCNConfig &config);
 
+    /**
+     * Kernel threads for functional-mode runs (RunSpec::threads):
+     * > 0 exact, 0 = auto via HYGCN_THREADS. Distinct from threads(),
+     * which sizes the runAll worker pool. Functional outputs are
+     * byte-identical at any setting.
+     */
+    Session &kernelThreads(int count);
+
     /** Worker threads for runAll (0 = hardware concurrency). */
     Session &threads(unsigned count);
 

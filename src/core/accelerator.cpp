@@ -5,6 +5,7 @@
 
 #include "core/aggregation_engine.hpp"
 #include "core/combination_engine.hpp"
+#include "model/kernels.hpp"
 #include "core/pipeline.hpp"
 #include "graph/partition.hpp"
 #include "graph/window.hpp"
@@ -247,6 +248,13 @@ HyGCNAccelerator::HyGCNAccelerator(HyGCNConfig config)
     config_.validate();
 }
 
+HyGCNAccelerator &
+HyGCNAccelerator::setFunctionalThreads(int threads)
+{
+    functionalThreads_ = kernels::resolveThreads(threads);
+    return *this;
+}
+
 AcceleratorResult
 HyGCNAccelerator::run(const Dataset &dataset, const ModelConfig &model,
                       const ModelParams &params, const Matrix *x0,
@@ -254,6 +262,8 @@ HyGCNAccelerator::run(const Dataset &dataset, const ModelConfig &model,
                       Trace *trace)
 {
     RunContext ctx(config_);
+    ctx.agg.setFunctionalThreads(functionalThreads_);
+    ctx.comb.setFunctionalThreads(functionalThreads_);
     ctx.trace = trace;
     AcceleratorResult result;
     const Graph &graph = dataset.graph;

@@ -70,8 +70,16 @@ class HyGCNAccelerator
 
     const HyGCNConfig &config() const { return config_; }
 
+    /**
+     * Kernel threads for the functional paths of both engines.
+     * Timing/energy are unaffected; functional outputs are
+     * byte-identical at any setting.
+     */
+    HyGCNAccelerator &setFunctionalThreads(int threads);
+
   private:
     HyGCNConfig config_;
+    int functionalThreads_ = 1;
 };
 
 } // namespace hygcn

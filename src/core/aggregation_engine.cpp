@@ -125,7 +125,8 @@ AggregationEngine::processInterval(
         // --- Functional path: identical traversal order.
         if (x && acc && touch) {
             aggregateWindow(view, op, coef, *x, work.dstBegin, work.dstEnd,
-                            window.srcBegin, window.srcEnd, *acc, *touch);
+                            window.srcBegin, window.srcEnd, *acc, *touch,
+                            functionalThreads_);
         }
     }
 

@@ -81,6 +81,12 @@ class AggregationEngine
     Cycle windowComputeCycles(EdgeId edges, int feature_len,
                               double imbalance) const;
 
+    /**
+     * Kernel threads for the functional path (timing is unaffected).
+     * Results are byte-identical at any setting.
+     */
+    void setFunctionalThreads(int threads) { functionalThreads_ = threads; }
+
   private:
     const HyGCNConfig &config_;
     MemoryCoordinator &coordinator_;
@@ -89,6 +95,7 @@ class AggregationEngine
     OnChipBuffer edgeBuf_;
     OnChipBuffer inputBuf_;
     OnChipBuffer aggBuf_;
+    int functionalThreads_ = 1;
     /** Running offset into the edge region (traversal order). */
     std::uint64_t edgeRegionOffset_ = 0;
 };

@@ -169,8 +169,8 @@ CombinationEngine::processInterval(
 
     // --- Functional path -------------------------------------------
     if (agg_rows && out_rows) {
-        Matrix combined =
-            combineRows(*agg_rows, weights, biases, activation);
+        Matrix combined = combineRows(*agg_rows, weights, biases,
+                                      activation, functionalThreads_);
         for (std::size_t r = 0; r < combined.rows(); ++r) {
             auto src = combined.row(r);
             auto dst = out_rows->row(r);

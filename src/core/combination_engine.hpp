@@ -101,6 +101,12 @@ class CombinationEngine
      */
     PicoJoule weightLoadEnergyPj() const { return weightLoadEnergyPj_; }
 
+    /**
+     * Kernel threads for the functional path (timing is unaffected).
+     * Results are byte-identical at any setting.
+     */
+    void setFunctionalThreads(int threads) { functionalThreads_ = threads; }
+
   private:
     /** Geometry used under the current pipeline mode. */
     SystolicGeometry activeGeometry() const;
@@ -116,6 +122,7 @@ class CombinationEngine
     OnChipBuffer weightBuf_;
     OnChipBuffer outputBuf_;
     OnChipBuffer aggBuf_;
+    int functionalThreads_ = 1;
     /** Bytes of the current layer's parameters. */
     std::uint64_t layerParamBytes_ = 0;
     /** True if the whole layer's parameters fit in the Weight Buffer. */

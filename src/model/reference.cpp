@@ -1,8 +1,9 @@
 #include "model/reference.hpp"
 
-#include <algorithm>
 #include <cassert>
-#include <stdexcept>
+#include <utility>
+
+#include "model/kernels.hpp"
 
 namespace hygcn {
 
@@ -10,51 +11,10 @@ void
 aggregateWindow(const CscView &view, AggOp op, const EdgeCoefFn &coef,
                 const Matrix &x, VertexId dst_begin, VertexId dst_end,
                 VertexId src_begin, VertexId src_end, Matrix &acc,
-                std::vector<std::uint32_t> &touch)
+                std::vector<std::uint32_t> &touch, int threads)
 {
-    assert(acc.rows() >= dst_end - dst_begin);
-    assert(touch.size() >= dst_end - dst_begin);
-    const std::size_t feats = x.cols();
-    assert(acc.cols() == feats);
-
-    for (VertexId dst = dst_begin; dst < dst_end; ++dst) {
-        auto srcs = view.sources(dst);
-        auto lo = std::lower_bound(srcs.begin(), srcs.end(), src_begin);
-        auto hi = std::lower_bound(lo, srcs.end(), src_end);
-        auto out = acc.row(dst - dst_begin);
-        std::uint32_t &cnt = touch[dst - dst_begin];
-        for (auto it = lo; it != hi; ++it) {
-            const VertexId src = *it;
-            const auto feat = x.row(src);
-            const float c = coef(src, dst);
-            switch (op) {
-              case AggOp::Add:
-              case AggOp::Mean:
-                for (std::size_t f = 0; f < feats; ++f)
-                    out[f] += c * feat[f];
-                break;
-              case AggOp::Max:
-                if (cnt == 0) {
-                    for (std::size_t f = 0; f < feats; ++f)
-                        out[f] = feat[f];
-                } else {
-                    for (std::size_t f = 0; f < feats; ++f)
-                        out[f] = std::max(out[f], feat[f]);
-                }
-                break;
-              case AggOp::Min:
-                if (cnt == 0) {
-                    for (std::size_t f = 0; f < feats; ++f)
-                        out[f] = feat[f];
-                } else {
-                    for (std::size_t f = 0; f < feats; ++f)
-                        out[f] = std::min(out[f], feat[f]);
-                }
-                break;
-            }
-            ++cnt;
-        }
-    }
+    kernels::spmmWindow(view, op, coef, x, dst_begin, dst_end, src_begin,
+                        src_end, acc, touch, threads);
 }
 
 void
@@ -74,50 +34,23 @@ finalizeAggregation(AggOp op, Matrix &acc,
 
 Matrix
 aggregateFull(const CscView &view, AggOp op, const EdgeCoefFn &coef,
-              const Matrix &x)
+              const Matrix &x, int threads)
 {
     Matrix acc(view.numVertices, x.cols());
     std::vector<std::uint32_t> touch(view.numVertices, 0);
     aggregateWindow(view, op, coef, x, 0, view.numVertices, 0,
-                    view.numVertices, acc, touch);
+                    view.numVertices, acc, touch, threads);
     finalizeAggregation(op, acc, touch);
     return acc;
 }
 
 Matrix
-combineRows(const Matrix &acc, std::span<const Matrix> weights,
+combineRows(Matrix acc, std::span<const Matrix> weights,
             std::span<const std::vector<float>> biases,
-            Activation activation)
+            Activation activation, int threads)
 {
-    assert(weights.size() == biases.size());
-    Matrix cur = acc;
-    for (std::size_t s = 0; s < weights.size(); ++s) {
-        const Matrix &w = weights[s];
-        const auto &b = biases[s];
-        if (cur.cols() != w.rows())
-            throw std::invalid_argument("combine shape mismatch");
-        Matrix next(cur.rows(), w.cols());
-        for (std::size_t r = 0; r < cur.rows(); ++r) {
-            const auto in = cur.row(r);
-            auto out = next.row(r);
-            for (std::size_t j = 0; j < w.cols(); ++j)
-                out[j] = b[j];
-            for (std::size_t k = 0; k < w.rows(); ++k) {
-                const float a = in[k];
-                if (a == 0.0f)
-                    continue;
-                const auto wrow = w.row(k);
-                for (std::size_t j = 0; j < w.cols(); ++j)
-                    out[j] += a * wrow[j];
-            }
-        }
-        if (activation == Activation::ReLU)
-            next.reluInPlace();
-        cur = std::move(next);
-    }
-    if (activation == Activation::SoftmaxRows)
-        cur.softmaxRowsInPlace();
-    return cur;
+    return kernels::combineGemm(std::move(acc), weights, biases,
+                                activation, threads);
 }
 
 Matrix
@@ -134,15 +67,16 @@ computeReadout(std::span<const Matrix> layer_outputs,
     Matrix readout(components, total);
     std::size_t col0 = 0;
     for (const Matrix &m : used) {
+        const std::size_t feats = m.cols();
         for (std::size_t g = 0; g < components; ++g) {
-            auto out = readout.row(g);
+            float *__restrict out = readout.row(g).data() + col0;
             for (VertexId v = boundaries[g]; v < boundaries[g + 1]; ++v) {
-                const auto row = m.row(v);
-                for (std::size_t f = 0; f < m.cols(); ++f)
-                    out[col0 + f] += row[f];
+                const float *__restrict row = m.row(v).data();
+                for (std::size_t f = 0; f < feats; ++f)
+                    out[f] += row[f];
             }
         }
-        col0 += m.cols();
+        col0 += feats;
     }
     return readout;
 }
@@ -154,6 +88,13 @@ ReferenceExecutor::ReferenceExecutor(const Graph &graph,
 {
     if (boundaries_.empty())
         boundaries_ = {0, graph.numVertices()};
+}
+
+ReferenceExecutor &
+ReferenceExecutor::setThreads(int threads)
+{
+    threads_ = kernels::resolveThreads(threads);
+    return *this;
 }
 
 ReferenceResult
@@ -171,9 +112,10 @@ ReferenceExecutor::run(const ModelConfig &model, const ModelParams &params,
         const EdgeSet edges = buildLayerEdges(
             graph_, layer, layerSampleSeed(sample_seed, li));
         const EdgeCoefFn coef(layer.coef, invSqrtDeg_, layer.epsilon);
-        Matrix agg = aggregateFull(edges.view(), layer.aggOp, coef, x);
-        x = combineRows(agg, params.weights[li], params.biases[li],
-                        layer.activation);
+        Matrix agg =
+            aggregateFull(edges.view(), layer.aggOp, coef, x, threads_);
+        x = combineRows(std::move(agg), params.weights[li],
+                        params.biases[li], layer.activation, threads_);
         result.layerOutputs.push_back(x);
     }
 
@@ -196,24 +138,26 @@ ReferenceExecutor::runDiffPool(const ModelConfig &model,
     const EdgeSet edges = buildLayerEdges(graph_, model.layers[0], 0);
     const EdgeCoefFn coef0(model.layers[0].coef, invSqrtDeg_,
                            model.layers[0].epsilon);
-    Matrix agg_pool =
-        aggregateFull(edges.view(), model.layers[0].aggOp, coef0, x0);
-    Matrix c = combineRows(agg_pool, params.weights[0], params.biases[0],
-                           model.layers[0].activation);
+    Matrix agg_pool = aggregateFull(edges.view(), model.layers[0].aggOp,
+                                    coef0, x0, threads_);
+    Matrix c =
+        combineRows(std::move(agg_pool), params.weights[0],
+                    params.biases[0], model.layers[0].activation, threads_);
     result.layerOutputs.push_back(c);
 
     const EdgeCoefFn coef1(model.layers[1].coef, invSqrtDeg_,
                            model.layers[1].epsilon);
-    Matrix agg_embed =
-        aggregateFull(edges.view(), model.layers[1].aggOp, coef1, x0);
-    Matrix z = combineRows(agg_embed, params.weights[1], params.biases[1],
-                           model.layers[1].activation);
+    Matrix agg_embed = aggregateFull(edges.view(), model.layers[1].aggOp,
+                                     coef1, x0, threads_);
+    Matrix z =
+        combineRows(std::move(agg_embed), params.weights[1],
+                    params.biases[1], model.layers[1].activation, threads_);
     result.layerOutputs.push_back(z);
 
     // AC: plain adjacency (no self loops) times C.
     const EdgeSet adj = EdgeSet::fromGraph(graph_, false);
     const EdgeCoefFn one(EdgeCoefKind::One, {}, 0.0f);
-    Matrix ac = aggregateFull(adj.view(), AggOp::Add, one, c);
+    Matrix ac = aggregateFull(adj.view(), AggOp::Add, one, c, threads_);
 
     // Per component: X' = C^T Z, A' = C^T (A C).
     const std::size_t components = boundaries_.size() - 1;

@@ -28,11 +28,14 @@ namespace hygcn {
  * for the final divide. Sources are visited in ascending order, so
  * window-by-window traversal reproduces the full-range result
  * bit-exactly for every operator.
+ *
+ * Backed by the vectorized kernels::spmmWindow; @p threads > 1
+ * parallelizes over destination rows with byte-identical results.
  */
 void aggregateWindow(const CscView &view, AggOp op, const EdgeCoefFn &coef,
                      const Matrix &x, VertexId dst_begin, VertexId dst_end,
                      VertexId src_begin, VertexId src_end, Matrix &acc,
-                     std::vector<std::uint32_t> &touch);
+                     std::vector<std::uint32_t> &touch, int threads = 1);
 
 /** Finalize an accumulated interval (Mean divide; untouched = 0). */
 void finalizeAggregation(AggOp op, Matrix &acc,
@@ -40,16 +43,19 @@ void finalizeAggregation(AggOp op, Matrix &acc,
 
 /** Full-range aggregation over every destination (golden path). */
 Matrix aggregateFull(const CscView &view, AggOp op, const EdgeCoefFn &coef,
-                     const Matrix &x);
+                     const Matrix &x, int threads = 1);
 
 /**
  * Apply the Combine MLP to each row of @p acc: out = act(in * W + b)
  * per stage. Shared by the reference and the accelerator functional
- * path.
+ * path. Takes @p acc by value — std::move it in when the caller is
+ * done with it to skip the input copy. Backed by the register-tiled
+ * kernels::combineGemm; @p threads > 1 parallelizes over rows with
+ * byte-identical results.
  */
-Matrix combineRows(const Matrix &acc, std::span<const Matrix> weights,
+Matrix combineRows(Matrix acc, std::span<const Matrix> weights,
                    std::span<const std::vector<float>> biases,
-                   Activation activation);
+                   Activation activation, int threads = 1);
 
 /**
  * Readout (Eq. 3/7): one row per component graph. @p concat stacks
@@ -89,6 +95,13 @@ class ReferenceExecutor
                       std::vector<VertexId> boundaries = {});
 
     /**
+     * Kernel thread count for subsequent run() calls: > 0 exact,
+     * 0 = auto (HYGCN_THREADS env, default 1). Results are
+     * byte-identical at any setting.
+     */
+    ReferenceExecutor &setThreads(int threads);
+
+    /**
      * Run @p model with @p params on input features @p x0.
      *
      * @param sample_seed Base seed for neighbor sampling (GSC).
@@ -106,6 +119,7 @@ class ReferenceExecutor
     const Graph &graph_;
     std::vector<VertexId> boundaries_;
     std::vector<float> invSqrtDeg_;
+    int threads_ = 1;
 };
 
 } // namespace hygcn

@@ -1,0 +1,130 @@
+#include "model/thread_pool.hpp"
+
+#include <algorithm>
+
+namespace hygcn {
+
+namespace {
+
+/** Hard cap on pool size: far above any sane RunSpec::threads, just
+ *  a guard against a runaway knob spawning unbounded threads. */
+constexpr int kMaxWorkers = 64;
+
+} // namespace
+
+ThreadPool::~ThreadPool()
+{
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        stop_ = true;
+    }
+    jobCv_.notify_all();
+    for (std::thread &worker : workers_)
+        worker.join();
+}
+
+std::size_t
+ThreadPool::workerCount() const
+{
+    std::lock_guard<std::mutex> lock(jobMutex_);
+    return workers_.size();
+}
+
+ThreadPool &
+ThreadPool::global()
+{
+    static ThreadPool pool;
+    return pool;
+}
+
+void
+ThreadPool::ensureWorkers(int needed)
+{
+    needed = std::min(needed, kMaxWorkers);
+    while (static_cast<int>(workers_.size()) < needed)
+        workers_.emplace_back([this] { workerLoop(); });
+}
+
+void
+ThreadPool::runChunks(
+    const std::function<void(std::size_t, std::size_t)> &fn, std::size_t n,
+    std::size_t chunk)
+{
+    for (;;) {
+        const std::size_t begin = next_.fetch_add(chunk);
+        if (begin >= n)
+            return;
+        fn(begin, std::min(begin + chunk, n));
+    }
+}
+
+void
+ThreadPool::workerLoop()
+{
+    std::unique_lock<std::mutex> lock(jobMutex_);
+    // A worker spawned mid-post must still join the job that counted
+    // it in pending_, so "never participated" is generation 0, not
+    // the current generation (generation_ is pre-incremented to 1 by
+    // the first job before any worker can exist).
+    std::uint64_t seen = 0;
+    for (;;) {
+        jobCv_.wait(lock, [&] {
+            return stop_ || (jobFn_ != nullptr && generation_ != seen);
+        });
+        if (stop_)
+            return;
+        seen = generation_;
+        const auto *fn = jobFn_;
+        const std::size_t n = jobN_;
+        const std::size_t chunk = jobChunk_;
+        lock.unlock();
+        runChunks(*fn, n, chunk);
+        lock.lock();
+        if (--pending_ == 0)
+            doneCv_.notify_all();
+    }
+}
+
+void
+ThreadPool::parallelFor(
+    int threads, std::size_t n, std::size_t chunk,
+    const std::function<void(std::size_t, std::size_t)> &fn)
+{
+    if (n == 0)
+        return;
+    chunk = std::max<std::size_t>(chunk, 1);
+    if (threads <= 1 || n <= chunk) {
+        fn(0, n);
+        return;
+    }
+    // Another thread is mid-job (e.g. two Session::runAll workers
+    // both asked for threaded kernels): run this range inline.
+    // Results are identical either way — only the wall time differs.
+    if (!callerMutex_.try_lock()) {
+        fn(0, n);
+        return;
+    }
+    std::lock_guard<std::mutex> caller(callerMutex_, std::adopt_lock);
+
+    {
+        std::lock_guard<std::mutex> lock(jobMutex_);
+        ensureWorkers(threads - 1);
+        jobFn_ = &fn;
+        jobN_ = n;
+        jobChunk_ = chunk;
+        next_.store(0, std::memory_order_relaxed);
+        // Every parked worker joins; surplus ones find the index
+        // exhausted and immediately report back.
+        pending_ = static_cast<int>(workers_.size());
+        ++generation_;
+    }
+    jobCv_.notify_all();
+
+    runChunks(fn, n, chunk);
+
+    std::unique_lock<std::mutex> lock(jobMutex_);
+    doneCv_.wait(lock, [&] { return pending_ == 0; });
+    jobFn_ = nullptr;
+}
+
+} // namespace hygcn

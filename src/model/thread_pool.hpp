@@ -1,0 +1,87 @@
+/**
+ * @file
+ * Persistent worker pool for the functional kernels. One process-wide
+ * pool (plus constructible instances for tests) hands out dynamic
+ * row chunks through an atomic index, so irregular per-row work
+ * (power-law vertex degrees) self-balances without any per-row
+ * synchronization. Workers park on a condition variable between
+ * jobs; posting a job is one lock + notify, cheap enough for the
+ * many small windows the accelerator's functional path produces.
+ */
+
+#ifndef HYGCN_MODEL_THREAD_POOL_HPP
+#define HYGCN_MODEL_THREAD_POOL_HPP
+
+#include <atomic>
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hygcn {
+
+/**
+ * A reusable pool of parked worker threads executing chunked
+ * parallel-for jobs. Workers are spawned lazily, kept across jobs,
+ * and joined on destruction. One job runs at a time; a caller that
+ * finds the pool busy (another thread mid-parallelFor) degrades to
+ * executing its range inline, so concurrent sweeps never deadlock
+ * and never change results.
+ */
+class ThreadPool
+{
+  public:
+    ThreadPool() = default;
+    ~ThreadPool();
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Process [0, n) as half-open chunks [begin, end) of at most
+     * @p chunk items, on @p threads participants: the calling thread
+     * plus up to threads-1 pool workers. Chunks are claimed through
+     * an atomic index (OpenMP schedule(dynamic) style), so uneven
+     * chunk costs balance automatically. @p fn must not throw and
+     * must only write state disjoint between chunks.
+     *
+     * threads <= 1 (or a range of a single chunk) runs inline with
+     * no locking at all — the default single-thread path costs
+     * nothing over a plain loop.
+     */
+    void parallelFor(int threads, std::size_t n, std::size_t chunk,
+                     const std::function<void(std::size_t, std::size_t)> &fn);
+
+    /** Workers spawned so far (grows on demand, never shrinks). */
+    std::size_t workerCount() const;
+
+    /** The process-wide pool shared by all kernel entry points. */
+    static ThreadPool &global();
+
+  private:
+    void ensureWorkers(int needed);
+    void workerLoop();
+    void runChunks(const std::function<void(std::size_t, std::size_t)> &fn,
+                   std::size_t n, std::size_t chunk);
+
+    /** Serializes callers; try-locked so a busy pool degrades inline. */
+    std::mutex callerMutex_;
+
+    mutable std::mutex jobMutex_;
+    std::condition_variable jobCv_;  ///< workers wait for a job
+    std::condition_variable doneCv_; ///< caller waits for drain
+    std::vector<std::thread> workers_;
+    const std::function<void(std::size_t, std::size_t)> *jobFn_ = nullptr;
+    std::size_t jobN_ = 0;
+    std::size_t jobChunk_ = 1;
+    std::uint64_t generation_ = 0; ///< bumped per job; workers track it
+    int pending_ = 0;              ///< workers still draining the job
+    bool stop_ = false;
+
+    std::atomic<std::size_t> next_{0}; ///< next unclaimed chunk start
+};
+
+} // namespace hygcn
+
+#endif // HYGCN_MODEL_THREAD_POOL_HPP

@@ -172,6 +172,12 @@ toJson(const api::RunSpec &spec)
     if (spec.batchCopies != 1)
         out += "\"batch_copies\":" + std::to_string(spec.batchCopies) +
                ",";
+    // Off-default only, like batch_copies: thread count never changes
+    // results (kernels are bit-exact under parallelism), so default
+    // specs — and the goldens/cache keys derived from them — keep
+    // their exact serialized form.
+    if (spec.threads != 0)
+        out += "\"threads\":" + std::to_string(spec.threads) + ",";
 
     // Full accelerator config, so runs differing only via a custom
     // base config (not a vary() axis) stay distinguishable. Applies

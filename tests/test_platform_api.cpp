@@ -247,10 +247,11 @@ TEST(Platform, InvalidConfigFailsFastBeforeDatasetConstruction)
 
 TEST(Platform, BaselinesRejectFunctionalMode)
 {
-    // The pyg cost models and the agg-only mode are timing-only;
+    // The pyg-gpu cost model and the agg-only mode are timing-only;
     // asking for functional outputs must fail fast, not return
-    // empty matrices.
-    for (const char *name : {"pyg-cpu", "pyg-gpu", "hygcn-agg"}) {
+    // empty matrices. (pyg-cpu gained a functional mode via the
+    // kernel core — covered below.)
+    for (const char *name : {"pyg-gpu", "hygcn-agg"}) {
         RunSpec spec;
         spec.dataset = DatasetId::CR;
         spec.datasetScale = kScale;
@@ -267,6 +268,45 @@ TEST(Platform, BaselinesRejectFunctionalMode)
     gin.dataset = DatasetId::CR;
     gin.datasetScale = kScale;
     EXPECT_THROW(Registry::global().makePlatform("hygcn-agg")->run(gin),
+                 std::invalid_argument);
+}
+
+TEST(Platform, CpuBaselineFunctionalMatchesHyGCN)
+{
+    // pyg-cpu runs the model through the kernel core in functional
+    // mode; its outputs must be bit-exact against the hygcn
+    // platform's functional path (both are backed by the same
+    // kernels, in the same FP order).
+    RunSpec cpu;
+    cpu.platform = "pyg-cpu";
+    cpu.dataset = DatasetId::CR;
+    cpu.datasetScale = kScale;
+    cpu.functional = true;
+    cpu.threads = 2;
+    const RunResult cpu_out =
+        Registry::global().makePlatform("pyg-cpu")->run(cpu);
+
+    RunSpec hw = cpu;
+    hw.platform = "hygcn";
+    hw.threads = 0;
+    const RunResult hw_out =
+        Registry::global().makePlatform("hygcn")->run(hw);
+
+    ASSERT_EQ(cpu_out.layerOutputs.size(), hw_out.layerOutputs.size());
+    ASSERT_FALSE(cpu_out.layerOutputs.empty());
+    for (std::size_t li = 0; li < cpu_out.layerOutputs.size(); ++li) {
+        EXPECT_EQ(Matrix::maxAbsDiff(cpu_out.layerOutputs[li],
+                                     hw_out.layerOutputs[li]),
+                  0.0f)
+            << "layer " << li;
+    }
+    // The timing/energy report still comes from the CPU cost model.
+    EXPECT_GT(cpu_out.report.cycles, 0u);
+
+    // The engine trace remains unsupported on the baseline.
+    RunSpec traced = cpu;
+    traced.collectTrace = true;
+    EXPECT_THROW(Registry::global().makePlatform("pyg-cpu")->run(traced),
                  std::invalid_argument);
 }
 

@@ -8,11 +8,15 @@
 # With --bench, also regenerate the CI bench baselines under
 # bench/baselines/ (BENCH_serve.json, BENCH_fig10.json,
 # BENCH_fig11.json, BENCH_fig12.json, BENCH_powercap.json,
-# BENCH_scale.json) from the same
+# BENCH_scale.json, BENCH_spmm.json) from the same
 # build, so golden and baseline refreshes land in one reviewed diff.
 # BENCH_scale.json records sim_rps derated 8x (serve_scale
 # --baseline): it gates wallclock throughput, so the baseline needs
 # headroom for CI hosts slower than the recording machine.
+# BENCH_spmm.json records speedup_vec derated 2x (spmm_kernels
+# --baseline): a within-process wallclock ratio, so it needs less
+# headroom than an absolute-throughput gate, but CI hosts with
+# narrower SIMD than the recording machine still see smaller ratios.
 #
 # Goldens and baselines are byte-exact, so regenerate them on the
 # same toolchain/platform class the CI comparison runs on; review the
@@ -43,7 +47,8 @@ HYGCN_UPDATE_GOLDENS=1 "$BIN"
 
 if [ "$BENCH" = 1 ]; then
     for bench in serve_latency fig10_speedup fig11_energy \
-                 fig12_energy_breakdown serve_powercap serve_scale; do
+                 fig12_energy_breakdown serve_powercap serve_scale \
+                 spmm_kernels; do
         if [ ! -x "$BUILD/bench/$bench" ]; then
             echo "error: $BUILD/bench/$bench not built; run:" \
                  "cmake --build $BUILD -j --target $bench" >&2
@@ -59,4 +64,6 @@ if [ "$BENCH" = 1 ]; then
         bench/baselines/BENCH_powercap.json
     "$BUILD/bench/serve_scale" --baseline \
         bench/baselines/BENCH_scale.json
+    "$BUILD/bench/spmm_kernels" --baseline \
+        bench/baselines/BENCH_spmm.json
 fi
