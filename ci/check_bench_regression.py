@@ -23,6 +23,10 @@ The bench schema is selected by the documents' "bench" field:
   8x (serve_scale --baseline), so the gate trips on
   order-of-magnitude simulator-throughput regressions, not host
   noise.
+- serve_lookahead: compares total joules and p99 latency of every
+  routing case — greedy, lookahead, lookahead_affinity — (both lower
+  is better), so neither the lookahead wins nor the greedy reference
+  may drift.
 - spmm_kernels: compares the single-thread vectorized speedup of the
   functional-core kernels over the scalar reference loops per case
   (higher is better). A within-process wallclock ratio, recorded
@@ -90,6 +94,18 @@ SCHEMAS = {
         # columns are reported but not gated: CI runners are often
         # single-core.
         ("cases", "case", "speedup_vec", "higher"),
+    ),
+    "serve_lookahead": (
+        # Queue-aware lookahead routing vs greedy energy routing on
+        # the current-gen/legacy two-class cluster. Gating joules and
+        # p99 "lower" for every case (greedy included) keeps the
+        # dominance story honest from both sides: the lookahead cases
+        # may not regress toward greedy, and greedy itself may not
+        # quietly degrade to make the comparison flattering. The
+        # bench binary additionally hard-fails unless each lookahead
+        # case dominates greedy on both metrics.
+        ("series", "case", "total_joules", "lower"),
+        ("series", "case", "p99_latency_cycles", "lower"),
     ),
     "serve_powercap": (
         # Flash crowd under a power cap: tail latency must not grow,

@@ -132,6 +132,10 @@ Registry::Registry()
         "slo-burn", [](const serve::ServeConfig &config) {
             return std::make_unique<serve::SloBurnScaling>(config);
         });
+    registerScalingPolicy(
+        "scheduled", [](const serve::ServeConfig &config) {
+            return std::make_unique<serve::ScheduledScaling>(config);
+        });
 
     for (DatasetId id : allDatasets()) {
         auto factory = [id](std::uint64_t seed, double scale) {

@@ -241,9 +241,30 @@ ServeSession::costModel(const std::string &name)
 }
 
 ServeSession &
+ServeSession::routing(serve::RoutingSpec spec)
+{
+    config_.routing = std::move(spec);
+    return *this;
+}
+
+ServeSession &
 ServeSession::routeObjective(const std::string &name)
 {
-    config_.routeObjective = name;
+    config_.routing.objective = name;
+    return *this;
+}
+
+ServeSession &
+ServeSession::lookaheadRouting(bool on)
+{
+    config_.routing.lookahead = on;
+    return *this;
+}
+
+ServeSession &
+ServeSession::affinityMargin(double margin)
+{
+    config_.routing.affinityMargin = margin;
     return *this;
 }
 

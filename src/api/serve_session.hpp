@@ -148,9 +148,26 @@ class ServeSession
      *  requests ("marginal", "analytic", "measured"). */
     ServeSession &costModel(const std::string &name);
 
+    // ---- routing -----------------------------------------------
+    /** Replace the whole routing spec at once; the granular setters
+     *  below adjust single knobs on it. */
+    ServeSession &routing(serve::RoutingSpec spec);
+
     /** Registry key of the routing objective scoring candidate
      *  instance classes ("cycles", "energy", "edp"). */
     ServeSession &routeObjective(const std::string &name);
+
+    /** Queue-aware lookahead routing: score busy classes at their
+     *  wait-until-free horizon instead of only considering free
+     *  instances, holding a ready batch when a busy class still wins
+     *  (RoutingSpec::lookahead). */
+    ServeSession &lookaheadRouting(bool on = true);
+
+    /** Scenario->class affinity margin in [0, 1): a batch only
+     *  migrates off its scenario's last-served class when the best
+     *  rival's score improves on the incumbent's by more than this
+     *  fraction (RoutingSpec::affinityMargin; 0 disables). */
+    ServeSession &affinityMargin(double margin);
 
     /** Deadline-aware EDF batch sizing: stop filling a batch where
      *  the cost curve says one more member would blow the tightest

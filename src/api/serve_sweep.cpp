@@ -67,6 +67,20 @@ ServeSweep::objectives(std::vector<std::string> names)
 }
 
 ServeSweep &
+ServeSweep::routingLookaheads(std::vector<bool> values)
+{
+    routingLookaheads_ = std::move(values);
+    return *this;
+}
+
+ServeSweep &
+ServeSweep::affinityMargins(std::vector<double> margins)
+{
+    affinityMargins_ = std::move(margins);
+    return *this;
+}
+
+ServeSweep &
 ServeSweep::clusters(std::vector<serve::ClusterSpec> specs)
 {
     clusters_ = std::move(specs);
@@ -135,6 +149,8 @@ ServeSweep::size() const
     return std::max<std::size_t>(policies_.size(), 1) *
            std::max<std::size_t>(costModels_.size(), 1) *
            std::max<std::size_t>(objectives_.size(), 1) *
+           std::max<std::size_t>(routingLookaheads_.size(), 1) *
+           std::max<std::size_t>(affinityMargins_.size(), 1) *
            std::max<std::size_t>(clusters_.size(), 1) *
            std::max<std::size_t>(maxBatches_.size(), 1) *
            std::max<std::size_t>(arrivalRates_.size(), 1) *
@@ -158,8 +174,16 @@ ServeSweep::expand() const
             : costModels_;
     const std::vector<std::string> objectives =
         objectives_.empty()
-            ? std::vector<std::string>{base_.routeObjective}
+            ? std::vector<std::string>{base_.routing.objective}
             : objectives_;
+    const std::vector<bool> lookaheads =
+        routingLookaheads_.empty()
+            ? std::vector<bool>{base_.routing.lookahead}
+            : routingLookaheads_;
+    const std::vector<double> affinity_margins =
+        affinityMargins_.empty()
+            ? std::vector<double>{base_.routing.affinityMargin}
+            : affinityMargins_;
     const std::vector<serve::ClusterSpec> clusters =
         clusters_.empty() ? std::vector<serve::ClusterSpec>{base_.cluster}
                           : clusters_;
@@ -216,6 +240,11 @@ ServeSweep::expand() const
         const serve::ClusterSpec &cluster =
             clusters[rest % clusters.size()];
         rest /= clusters.size();
+        const double affinity_margin =
+            affinity_margins[rest % affinity_margins.size()];
+        rest /= affinity_margins.size();
+        const bool lookahead = lookaheads[rest % lookaheads.size()];
+        rest /= lookaheads.size();
         const std::string &objective =
             objectives[rest % objectives.size()];
         rest /= objectives.size();
@@ -227,7 +256,9 @@ ServeSweep::expand() const
         serve::ServeConfig config = base_;
         config.policy = policy;
         config.batching.costModel = cost_model;
-        config.routeObjective = objective;
+        config.routing.objective = objective;
+        config.routing.lookahead = lookahead;
+        config.routing.affinityMargin = affinity_margin;
         config.cluster = cluster;
         config.batching.maxBatch = max_batch;
         config.meanInterarrivalCycles = rate;

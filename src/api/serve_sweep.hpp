@@ -4,9 +4,10 @@
  * Session/SweepBuilder for the serve layer: a ServeSweep starts from
  * a base ServeConfig (or a ServeSession under construction) and
  * varies scheduling policy x batch cost model x routing objective x
- * cluster shape x max batch size x arrival rate x arrival process x
- * scaling policy x power cap x kernel threads x seed, executing the
- * expansion on a std::thread worker pool:
+ * routing lookahead x affinity margin x cluster shape x max batch
+ * size x arrival rate x arrival process x scaling policy x power
+ * cap x kernel threads x seed, executing the expansion on a
+ * std::thread worker pool:
  *
  *   auto results = ServeSweep(session.config())
  *                      .policies({"fifo", "edf"})
@@ -103,6 +104,14 @@ class ServeSweep
     /** Routing objectives ("cycles", "energy", "edp"). */
     ServeSweep &objectives(std::vector<std::string> names);
 
+    /** Queue-aware lookahead routing on/off
+     *  (RoutingSpec::lookahead per value). */
+    ServeSweep &routingLookaheads(std::vector<bool> values);
+
+    /** Scenario->class affinity margins in [0, 1)
+     *  (RoutingSpec::affinityMargin per value; 0 disables). */
+    ServeSweep &affinityMargins(std::vector<double> margins);
+
     /** Cluster shapes (ClusterSpec per value; an empty spec selects
      *  the base's homogeneous shorthand). */
     ServeSweep &clusters(std::vector<serve::ClusterSpec> specs);
@@ -148,9 +157,10 @@ class ServeSweep
     /**
      * Expand the cartesian product into concrete configs, in
      * deterministic declaration order: policies outermost, then cost
-     * models, objectives, clusters, max batch sizes, arrival rates,
-     * arrival processes, scaling policies, power caps, kernel thread
-     * counts, and seed replicates innermost.
+     * models, objectives, routing lookaheads, affinity margins,
+     * clusters, max batch sizes, arrival rates, arrival processes,
+     * scaling policies, power caps, kernel thread counts, and seed
+     * replicates innermost.
      */
     std::vector<serve::ServeConfig> expand() const;
 
@@ -175,6 +185,8 @@ class ServeSweep
     std::vector<std::string> policies_;
     std::vector<std::string> costModels_;
     std::vector<std::string> objectives_;
+    std::vector<bool> routingLookaheads_;
+    std::vector<double> affinityMargins_;
     std::vector<serve::ClusterSpec> clusters_;
     std::vector<std::uint32_t> maxBatches_;
     std::vector<double> arrivalRates_;

@@ -1,5 +1,7 @@
 #include "serve/control_plane.hpp"
 
+#include <algorithm>
+
 namespace hygcn::serve {
 
 StaticScaling::StaticScaling(const ServeConfig &)
@@ -43,6 +45,41 @@ SloBurnScaling::delta(const ScalingSignals &signals)
         signals.depthPerReplica() < depthLow_ &&
         signals.freeReplicas > 0)
         return -1;
+    return 0;
+}
+
+ScheduledScaling::ScheduledScaling(const ServeConfig &config)
+    : schedule_(config.control.schedule)
+{
+}
+
+int
+ScheduledScaling::delta(const ScalingSignals &signals)
+{
+    // The timetable target is the last entry at or before now; the
+    // entries are validated strictly increasing, so a linear scan
+    // from the front lands on it (schedules are operator-written and
+    // short — a handful of diurnal steps, not thousands).
+    std::uint32_t target = signals.activeReplicas;
+    bool reached = false;
+    for (const ControlPlaneSpec::ScheduleEntry &entry : schedule_) {
+        if (entry.atCycle > signals.now)
+            break;
+        target = entry.replicas;
+        reached = true;
+    }
+    if (!reached)
+        return 0; // before the first step: keep the configured count
+    if (target > signals.activeReplicas)
+        return static_cast<int>(target - signals.activeReplicas);
+    if (target < signals.activeReplicas) {
+        // Retire only idle replicas this tick; the rest follow once
+        // their in-flight batches drain.
+        const std::uint32_t excess = signals.activeReplicas - target;
+        const std::uint32_t retirable =
+            std::min(excess, signals.freeReplicas);
+        return -static_cast<int>(retirable);
+    }
     return 0;
 }
 

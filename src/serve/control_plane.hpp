@@ -17,6 +17,9 @@
  *  - "slo-burn": scale up when the fraction of requests dispatched
  *    past-deadline in the last window crosses sloBurnHigh; scale
  *    down on an idle window (no misses, queue below queueDepthLow).
+ *  - "scheduled": follow a fixed cycle->replica-count timetable
+ *    (ControlPlaneSpec::schedule) — the operator already knows the
+ *    diurnal shape, no feedback loop needed.
  *
  * The power cap and batch preemption halves of ControlPlaneSpec are
  * enforced inline by the Scheduler (serve/scheduler.cpp); this header
@@ -28,6 +31,7 @@
 
 #include <cstdint>
 #include <string>
+#include <vector>
 
 #include "serve/workload.hpp"
 
@@ -150,6 +154,29 @@ class SloBurnScaling : public ScalingPolicy
   private:
     double burnHigh_;
     double depthLow_;
+};
+
+/**
+ * Timetable scaling: at each control tick the desired replica count
+ * of every class is the ControlPlaneSpec::schedule entry with the
+ * latest atCycle at or before now (the configured initial count
+ * before the first entry), and delta() steers the class toward it —
+ * the scheduler still clamps into [minReplicas, maxReplicas] and
+ * pays warm-up/drain, so a timetable step materializes gradually at
+ * the tick cadence. Scale-downs wait for an idle replica like the
+ * feedback policies, so a loaded cluster drains toward the timetable
+ * instead of preempting useful work.
+ */
+class ScheduledScaling : public ScalingPolicy
+{
+  public:
+    explicit ScheduledScaling(const ServeConfig &config);
+
+    std::string name() const override { return "scheduled"; }
+    int delta(const ScalingSignals &signals) override;
+
+  private:
+    std::vector<ControlPlaneSpec::ScheduleEntry> schedule_;
 };
 
 } // namespace hygcn::serve

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "serve/workload.hpp"
+
 namespace hygcn::serve {
 
 int
@@ -15,6 +17,18 @@ compareScores(double a, double b)
     if (b < a - tol)
         return 1;
     return 0;
+}
+
+double
+RouteObjective::score(const RouteCandidate &candidate,
+                      double clock_hz) const
+{
+    // Legacy score at completion horizon: objectives that already
+    // price delay (cycles, edp) extend naturally by letting the wait
+    // stretch their delay term.
+    return score(satAddCycles(candidate.waitCycles,
+                              candidate.serviceCycles),
+                 candidate.joules, candidate.batchSize, clock_hz);
 }
 
 double
@@ -37,6 +51,22 @@ EnergyObjective::score(Cycle /*service_cycles*/, double joules,
     // the score a per-request figure a person can read off a trace.
     return batch_size > 0 ? joules / static_cast<double>(batch_size)
                           : joules;
+}
+
+double
+EnergyObjective::score(const RouteCandidate &candidate,
+                       double clock_hz) const
+{
+    const double base =
+        score(candidate.serviceCycles, candidate.joules,
+              candidate.batchSize, clock_hz);
+    if (candidate.waitCycles == 0 || candidate.serviceCycles == 0)
+        return base;
+    const double stretch =
+        static_cast<double>(satAddCycles(candidate.waitCycles,
+                                         candidate.serviceCycles)) /
+        static_cast<double>(candidate.serviceCycles);
+    return base * stretch;
 }
 
 double

@@ -35,6 +35,32 @@
 namespace hygcn::serve {
 
 /**
+ * One candidate placement under queue-aware lookahead routing: the
+ * batch's priced service time and energy on one instance class, plus
+ * how long the class's least-loaded instance stays busy before it
+ * could take the batch (0 when an instance is free right now). The
+ * scheduler fills waitCycles from the per-class busy-until horizon
+ * heaps, so scoring all classes costs no extra scans.
+ */
+struct RouteCandidate
+{
+    /** Index into the resolved cluster classes. */
+    std::size_t classIndex = 0;
+
+    /** Cycles until the class's earliest instance frees (0 = free). */
+    Cycle waitCycles = 0;
+
+    /** Priced service cycles of the batch on this class. */
+    Cycle serviceCycles = 0;
+
+    /** Priced energy of the batch on this class, joules. */
+    double joules = 0.0;
+
+    /** Batch size the curve was priced at. */
+    std::size_t batchSize = 0;
+};
+
+/**
  * Routing scorer of the serving cluster. Stateless: score() maps one
  * candidate placement — the batch's priced service time and energy
  * on one instance class — to a comparable figure of merit (lower is
@@ -54,6 +80,19 @@ class RouteObjective
     virtual double score(Cycle service_cycles, double joules,
                          std::size_t batch_size,
                          double clock_hz) const = 0;
+
+    /**
+     * Horizon-aware figure of merit under lookahead routing: score
+     * the placement including the wait until the class frees. The
+     * default folds the wait into the delay term — the legacy score
+     * evaluated at completion horizon (wait + service) — which is
+     * exactly the free-class score when waitCycles is 0, so greedy
+     * and lookahead agree on free candidates. Objectives whose
+     * legacy score ignores delay (EnergyObjective) override this to
+     * keep waiting from becoming free.
+     */
+    virtual double score(const RouteCandidate &candidate,
+                         double clock_hz) const;
 
     /**
      * True when score() is exactly the batch's service cycles, so
@@ -101,6 +140,18 @@ class EnergyObjective : public RouteObjective
     std::string name() const override { return "energy"; }
     double score(Cycle service_cycles, double joules,
                  std::size_t batch_size, double clock_hz) const override;
+
+    /**
+     * Delay-damped energy: joules per request scaled by
+     * (wait + service) / service. Pure joules would be
+     * wait-invariant — the efficient class would absorb unbounded
+     * queueing — so the wait inflates the score in proportion to the
+     * stall it costs, capping how long a batch holds for the
+     * efficient class at roughly (J_other/J_self - 1) x service. At
+     * waitCycles 0 this is exactly the free-class score.
+     */
+    double score(const RouteCandidate &candidate,
+                 double clock_hz) const override;
 };
 
 /** Energy-delay-product routing ("edp"). */

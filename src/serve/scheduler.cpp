@@ -114,22 +114,34 @@ Scheduler::run() const
     CostCurves curves(classes.size());
     EnergyCurves energy(classes.size());
     std::vector<std::vector<double>> clock(classes.size());
+    PricedScenarioCache &cache = PricedScenarioCache::global();
+    const std::uint64_t cache_hits = cache.hits();
+    const std::uint64_t cache_misses = cache.misses();
     for (std::size_t c = 0; c < classes.size(); ++c) {
         curves[c].reserve(config_.scenarios.size());
         energy[c].reserve(config_.scenarios.size());
         clock[c].reserve(config_.scenarios.size());
         for (const ServeScenario &scenario : config_.scenarios) {
             const PricedScenarioCache::Priced priced =
-                PricedScenarioCache::global().priceCurve(
-                    classes[c].platform, classSpec(classes[c], scenario),
-                    config_);
+                cache.priceCurve(classes[c].platform,
+                                 classSpec(classes[c], scenario),
+                                 config_);
             curves[c].push_back(priced.cyclesByBatch);
             energy[c].push_back(priced.joulesByBatch);
             clock[c].push_back(priced.clockHz);
         }
     }
-    return simulate(classes, normalizeClocks(std::move(curves), clock),
-                    energy, clock[0].back());
+    ServeResult result =
+        simulate(classes, normalizeClocks(std::move(curves), clock),
+                 energy, clock[0].back());
+    // The pricing phase above is this run's cache traffic; snapshot
+    // deltas make affinity's locality benefit observable per run.
+    // Counters are process-global, so a concurrent sweep's pricing
+    // can bleed into the window — treat these as observability, not
+    // an exact ledger.
+    result.stats.pricedCacheHits = cache.hits() - cache_hits;
+    result.stats.pricedCacheMisses = cache.misses() - cache_misses;
+    return result;
 }
 
 ServeResult
@@ -235,12 +247,21 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     const std::unique_ptr<SchedulerPolicy> policy =
         api::Registry::global().makePolicy(config_.policy, config_);
     const std::unique_ptr<RouteObjective> objective =
-        api::Registry::global().makeObjective(config_.routeObjective);
+        api::Registry::global().makeObjective(config_.routing.objective);
 
     const std::size_t num_classes = curves.size();
     const std::size_t num_scenarios = config_.scenarios.size();
     const std::size_t max_batch = config_.batching.maxBatch;
     const bool raw_cycles = objective->scoresServiceCycles();
+
+    // Routing-spec switches. With both off the dispatch scan below
+    // runs the legacy free-class-only code path untouched, so
+    // default-config schedules (and the checked-in goldens) stay
+    // byte-identical.
+    const RoutingSpec &routing = config_.routing;
+    const bool lookahead_on = routing.lookahead;
+    const bool affinity_on = routing.affinityMargin > 0.0;
+    const bool routing_on = lookahead_on || affinity_on;
 
     // Objective scores depend only on (class, scenario, batch size),
     // so they price once into a flat table here and the hot loop
@@ -408,6 +429,15 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                             std::greater<InstanceKey>>;
     std::vector<InstanceMinHeap> free_by_class(num_classes);
     InstanceMinHeap completions;
+    // Queue-aware lookahead mirrors the completion pushes into
+    // per-class busy-until horizon heaps: each class's earliest
+    // expected completion (or warm-ready cycle) is heap-top, so
+    // scoring a busy class's wait-until-free costs O(1) amortized —
+    // no new scans in the hot loop. Entries invalidate lazily against
+    // expected_completion / warm_ready exactly like the completion
+    // heap's.
+    std::vector<InstanceMinHeap> horizon_by_class(
+        lookahead_on ? num_classes : 0);
     std::size_t free_count = 0;
     std::vector<InstState> state(total_instances, InstState::Parked);
     std::vector<Cycle> last_freed(total_instances, 0);
@@ -460,6 +490,27 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
     std::uint64_t scale_ups = 0;
     std::uint64_t scale_downs = 0;
     std::uint64_t power_deferred = 0;
+    std::uint64_t lookahead_holds = 0;
+    std::uint64_t affinity_hits = 0;
+    std::uint64_t affinity_migrations = 0;
+
+    // Affinity retention: the class that last served each scenario
+    // (num_classes = "none yet"), and the candidate scratch the
+    // routing scan fills per dispatch (hoisted out of the hot loop).
+    std::vector<std::size_t> last_class(
+        affinity_on ? num_scenarios : 0, num_classes);
+    struct Candidate
+    {
+        bool eligible = false;
+        Cycle wait = 0;
+        Cycle cost = 0;
+        /** Integer completion horizon (wait + cost) the raw-cycles
+         *  path ranks on instead of a double score. */
+        Cycle completionKey = 0;
+        double score = 0.0;
+        InstanceKey rep{};
+    };
+    std::vector<Candidate> cands(routing_on ? num_classes : 0);
     std::uint64_t preempt_count = 0;
     Cycle preempted_cycles = 0;
     Cycle released_makespan = 0;
@@ -499,6 +550,8 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             const std::uint32_t inst = done.second;
             const std::uint32_t cls = class_of[inst];
             if (!control_on) {
+                if (lookahead_on)
+                    expected_completion[inst] = kNeverCycle;
                 free_by_class[cls].push(done);
                 ++free_count;
                 continue;
@@ -583,6 +636,9 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                     warm_ready[pick] = satAddCycles(
                         std::max(now, park_ready[pick]), warmup_cycles);
                     completions.push({warm_ready[pick], pick});
+                    if (lookahead_on)
+                        horizon_by_class[c].push(
+                            {warm_ready[pick], pick});
                     ++active_count[c];
                     ++scale_ups;
                     timelines[c].push_back({now, active_count[c]});
@@ -638,73 +694,247 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                     satAddCycles(next_control, control_interval);
         }
 
-        // Route and commit one batch, or report that the power cap
-        // (the only reason routing can refuse while an instance is
-        // free) left it unplaced. Identical to the legacy scan when
-        // the control plane is off.
+        // Route one batch: Dispatched commits it, Blocked reports
+        // that the power cap (the only reason routing can refuse
+        // while an instance is free) left it unplaced, and Held
+        // reports that lookahead/affinity chose a busy class that
+        // frees soon. Identical to the legacy scan when the routing
+        // spec is default and the control plane is off.
+        enum class Placement : std::uint8_t {
+            Dispatched,
+            Blocked,
+            Held,
+        };
         auto dispatch_batch =
-            [&](const std::vector<ServeRequest> &members) -> bool {
+            [&](const std::vector<ServeRequest> &members) -> Placement {
             const std::uint32_t scenario = members.front().scenario;
             const std::size_t batch_size = members.size();
             const std::size_t score_idx =
                 std::min(batch_size, max_batch) - 1;
 
-            // Among classes with a free instance, the configured
-            // objective scores each candidate on the batch's priced
-            // service cycles and joules — one precomputed-table
-            // lookup, never an objective call; ties break on service
-            // cycles, then the class representative's (last-freed,
-            // id) key — under the default "cycles" objective exactly
-            // the legacy order.
             std::size_t best_class = num_classes;
             Cycle best = 0;
             double best_score = 0.0;
+            Cycle best_key = 0;
+            Cycle best_wait = 0;
             InstanceKey best_rep{};
             bool cap_skipped = false;
-            for (std::size_t c = 0; c < num_classes; ++c) {
-                InstanceMinHeap &heap = free_by_class[c];
-                if (control_on)
-                    while (!heap.empty() &&
-                           (state[heap.top().second] !=
-                                InstState::Idle ||
-                            heap.top().first !=
-                                last_freed[heap.top().second]))
-                        heap.pop();
-                if (heap.empty())
-                    continue;
-                const InstanceKey rep = heap.top();
-                const Cycle cost =
-                    curveAt(curves[c][scenario], batch_size);
-                if (cap_on) {
-                    const double watts =
-                        energyCurveAt(energy[c][scenario],
-                                      batch_size) *
-                        clock_hz / static_cast<double>(cost);
-                    if (current_watts + watts > cap_watts) {
-                        cap_skipped = true;
+            bool affinity_hit = false;
+            bool affinity_migrated = false;
+
+            if (!routing_on) {
+                // Among classes with a free instance, the configured
+                // objective scores each candidate on the batch's
+                // priced service cycles and joules — one
+                // precomputed-table lookup, never an objective call;
+                // ties break on service cycles, then the class
+                // representative's (last-freed, id) key — under the
+                // default "cycles" objective exactly the legacy
+                // order.
+                for (std::size_t c = 0; c < num_classes; ++c) {
+                    InstanceMinHeap &heap = free_by_class[c];
+                    if (control_on)
+                        while (!heap.empty() &&
+                               (state[heap.top().second] !=
+                                    InstState::Idle ||
+                                heap.top().first !=
+                                    last_freed[heap.top().second]))
+                            heap.pop();
+                    if (heap.empty())
+                        continue;
+                    const InstanceKey rep = heap.top();
+                    const Cycle cost =
+                        curveAt(curves[c][scenario], batch_size);
+                    if (cap_on) {
+                        const double watts =
+                            energyCurveAt(energy[c][scenario],
+                                          batch_size) *
+                            clock_hz / static_cast<double>(cost);
+                        if (current_watts + watts > cap_watts) {
+                            cap_skipped = true;
+                            continue;
+                        }
+                    }
+                    const double cost_score =
+                        raw_cycles ? 0.0
+                                   : scores[c][scenario][score_idx];
+                    if (best_class == num_classes) {
+                        best_class = c;
+                        best = cost;
+                        best_score = cost_score;
+                        best_rep = rep;
                         continue;
                     }
+                    const int order =
+                        raw_cycles
+                            ? 0
+                            : compareScores(cost_score, best_score);
+                    if (order < 0 ||
+                        (order == 0 &&
+                         (cost < best ||
+                          (cost == best && rep < best_rep)))) {
+                        best_class = c;
+                        best = cost;
+                        best_score = cost_score;
+                        best_rep = rep;
+                    }
                 }
-                const double cost_score =
-                    raw_cycles ? 0.0 : scores[c][scenario][score_idx];
-                if (best_class == num_classes) {
-                    best_class = c;
-                    best = cost;
-                    best_score = cost_score;
-                    best_rep = rep;
-                    continue;
+            } else {
+                // Horizon-aware scan: every class is a candidate —
+                // free ones at wait 0 (scored from the static table,
+                // the wait-free case of the split), busy ones at
+                // their heap-top busy-until horizon (scored per
+                // dispatch, since the wait term is dynamic). The
+                // power cap filters only wait-0 candidates: holding
+                // for a busy class defers the draw to a completion
+                // that frees budget anyway.
+                for (std::size_t c = 0; c < num_classes; ++c) {
+                    Candidate &cand = cands[c];
+                    cand.eligible = false;
+                    InstanceMinHeap &heap = free_by_class[c];
+                    if (control_on)
+                        while (!heap.empty() &&
+                               (state[heap.top().second] !=
+                                    InstState::Idle ||
+                                heap.top().first !=
+                                    last_freed[heap.top().second]))
+                            heap.pop();
+                    const Cycle cost =
+                        curveAt(curves[c][scenario], batch_size);
+                    if (!heap.empty()) {
+                        if (cap_on) {
+                            const double watts =
+                                energyCurveAt(energy[c][scenario],
+                                              batch_size) *
+                                clock_hz / static_cast<double>(cost);
+                            if (current_watts + watts > cap_watts) {
+                                cap_skipped = true;
+                                continue;
+                            }
+                        }
+                        cand.eligible = true;
+                        cand.wait = 0;
+                        cand.cost = cost;
+                        cand.completionKey = cost;
+                        cand.rep = heap.top();
+                        cand.score =
+                            raw_cycles
+                                ? 0.0
+                                : scores[c][scenario][score_idx];
+                        continue;
+                    }
+                    if (!lookahead_on)
+                        continue;
+                    InstanceMinHeap &busy = horizon_by_class[c];
+                    while (!busy.empty()) {
+                        const InstanceKey top = busy.top();
+                        const std::uint32_t inst = top.second;
+                        const bool live =
+                            control_on
+                                ? ((state[inst] == InstState::Busy &&
+                                    top.first ==
+                                        expected_completion[inst]) ||
+                                   (state[inst] ==
+                                        InstState::Warming &&
+                                    top.first == warm_ready[inst]))
+                                : top.first ==
+                                      expected_completion[inst];
+                        if (live)
+                            break;
+                        busy.pop();
+                    }
+                    if (busy.empty())
+                        continue;
+                    // Completions due by now were already released,
+                    // so a live horizon is strictly in the future.
+                    const Cycle wait = busy.top().first - now;
+                    cand.eligible = true;
+                    cand.wait = wait;
+                    cand.cost = cost;
+                    cand.completionKey = satAddCycles(wait, cost);
+                    cand.rep = busy.top();
+                    if (raw_cycles) {
+                        cand.score = 0.0;
+                    } else {
+                        RouteCandidate rc;
+                        rc.classIndex = c;
+                        rc.waitCycles = wait;
+                        rc.serviceCycles = cost;
+                        rc.joules = energyCurveAt(
+                            energy[c][scenario], batch_size);
+                        rc.batchSize = batch_size;
+                        cand.score = objective->score(rc, clock_hz);
+                    }
                 }
-                const int order =
-                    raw_cycles ? 0
-                               : compareScores(cost_score, best_score);
-                if (order < 0 ||
-                    (order == 0 &&
-                     (cost < best ||
-                      (cost == best && rep < best_rep)))) {
-                    best_class = c;
-                    best = cost;
-                    best_score = cost_score;
-                    best_rep = rep;
+                // Deterministic chain: score (raw integer completion
+                // horizon under "cycles"), then service cycles, then
+                // wait (a free class beats a busy tie), then the
+                // representative key. With lookahead off every wait
+                // is 0 and this is exactly the legacy chain.
+                for (std::size_t c = 0; c < num_classes; ++c) {
+                    const Candidate &cand = cands[c];
+                    if (!cand.eligible)
+                        continue;
+                    if (best_class == num_classes) {
+                        best_class = c;
+                        best = cand.cost;
+                        best_score = cand.score;
+                        best_key = cand.completionKey;
+                        best_wait = cand.wait;
+                        best_rep = cand.rep;
+                        continue;
+                    }
+                    const int order =
+                        raw_cycles
+                            ? (cand.completionKey < best_key   ? -1
+                               : cand.completionKey > best_key ? 1
+                                                               : 0)
+                            : compareScores(cand.score, best_score);
+                    if (order < 0 ||
+                        (order == 0 &&
+                         (cand.cost < best ||
+                          (cand.cost == best &&
+                           (cand.wait < best_wait ||
+                            (cand.wait == best_wait &&
+                             cand.rep < best_rep)))))) {
+                        best_class = c;
+                        best = cand.cost;
+                        best_score = cand.score;
+                        best_key = cand.completionKey;
+                        best_wait = cand.wait;
+                        best_rep = cand.rep;
+                    }
+                }
+                // Affinity retention: stay on the scenario's
+                // last-served class unless the winner's score beats
+                // it by more than the configured relative margin.
+                // Without lookahead a busy incumbent is not a
+                // candidate, so retention only arbitrates among free
+                // classes.
+                if (affinity_on && best_class != num_classes) {
+                    const std::size_t last = last_class[scenario];
+                    if (last < num_classes && last != best_class &&
+                        cands[last].eligible) {
+                        const double keep =
+                            1.0 - routing.affinityMargin;
+                        const double best_metric =
+                            raw_cycles
+                                ? static_cast<double>(best_key)
+                                : best_score;
+                        const double last_metric =
+                            raw_cycles ? static_cast<double>(
+                                             cands[last].completionKey)
+                                       : cands[last].score;
+                        if (best_metric < last_metric * keep) {
+                            affinity_migrated = true;
+                        } else {
+                            affinity_hit = true;
+                            best_class = last;
+                            best = cands[last].cost;
+                            best_wait = cands[last].wait;
+                            best_rep = cands[last].rep;
+                        }
+                    }
                 }
             }
             if (best_class == num_classes && cap_skipped &&
@@ -733,7 +963,9 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
                 }
             }
             if (best_class == num_classes)
-                return false;
+                return Placement::Blocked;
+            if (best_wait > 0)
+                return Placement::Held;
 
             const std::uint32_t inst = best_rep.second;
             free_by_class[best_class].pop();
@@ -823,10 +1055,22 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             instance.requests += batch_size;
             instance.busyCycles += service;
             completions.push({completion, inst});
+            if (lookahead_on) {
+                horizon_by_class[best_class].push({completion, inst});
+                if (!control_on)
+                    expected_completion[inst] = completion;
+            }
+            if (affinity_on) {
+                if (affinity_hit)
+                    ++affinity_hits;
+                if (affinity_migrated)
+                    ++affinity_migrations;
+                last_class[scenario] = best_class;
+            }
             if (!control_on)
                 result.makespan = std::max(result.makespan, completion);
             served += batch_size;
-            return true;
+            return Placement::Dispatched;
         };
 
         // A tight-deadline head about to burn while every replica
@@ -901,16 +1145,22 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
         };
 
         // Dispatch while a batch is formable and an instance is
-        // free. The policy picks the batch; routing then picks,
-        // among classes with a free instance, the one the configured
-        // objective scores best at the batch's actual size. A
-        // cap-deferred batch holds the line: nothing younger passes
-        // it, and it retries at every event until it fits.
+        // free. The policy picks the batch; routing then picks the
+        // class the configured objective scores best at the batch's
+        // actual size. A cap-deferred batch holds the line: nothing
+        // younger passes it, and it retries at every event until it
+        // fits. A lookahead-held batch re-enters the policy's queues
+        // instead, so it keeps growing while it waits for the busy
+        // class it scored best.
         for (;;) {
             if (!deferred.empty()) {
                 if (free_count == 0)
                     break;
-                if (!dispatch_batch(deferred.front()))
+                // A held verdict on a cap-deferred batch just waits:
+                // its members already left the policy once, and the
+                // completion it waits for is the next event anyway.
+                if (dispatch_batch(deferred.front()) !=
+                    Placement::Dispatched)
                     break;
                 deferred.pop_front();
                 continue;
@@ -925,7 +1175,21 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
 
             std::vector<ServeRequest> members =
                 policy->pop(now, drain);
-            if (!dispatch_batch(members)) {
+            const Placement placed = dispatch_batch(members);
+            if (placed == Placement::Held) {
+                // The batch waits for a busy class that frees soon.
+                // Its members re-enter the policy's queues — the
+                // same re-admission preemption uses — so co-batchable
+                // arrivals can still join, and the dispatch retries
+                // at the completion (or arrival) event that changes
+                // the scores. Head-of-line: nothing else dispatches
+                // this event.
+                ++lookahead_holds;
+                for (const ServeRequest &member : members)
+                    policy->admit(member);
+                break;
+            }
+            if (placed == Placement::Blocked) {
                 deferred.push_back(std::move(members));
                 ++power_deferred;
                 break;
@@ -998,6 +1262,11 @@ Scheduler::simulate(const std::vector<ClusterSpec::InstanceClass> &classes,
             result.requests, result.batches, result.instances,
             result.makespan, result.clockHz, tenants, class_labels);
     result.stats.deadlineCapsAvoided = policy->deadlineCapsAvoided();
+    if (routing_on) {
+        result.stats.lookaheadHolds = lookahead_holds;
+        result.stats.affinityHits = affinity_hits;
+        result.stats.affinityMigrations = affinity_migrations;
+    }
     if (control_on) {
         result.stats.powerDeferredBatches = power_deferred;
         result.stats.peakClusterWatts = peak_watts;

@@ -178,6 +178,29 @@ struct ServeStats
      */
     std::uint64_t deadlineCapsAvoided = 0;
 
+    // --- Routing accounting (all zero with RoutingSpec defaults —
+    // --- lookahead off, no affinity — so default-config JSON stays
+    // --- byte-identical).
+
+    /** Dispatch rounds lookahead routing held a ready batch for a
+     *  busy-but-cheaper class instead of dispatching to a free one
+     *  (counted once per hold decision, however long the hold). */
+    std::uint64_t lookaheadHolds = 0;
+
+    /** Dispatches the affinity margin kept on the scenario's
+     *  last-served class against a better-scoring rival. */
+    std::uint64_t affinityHits = 0;
+
+    /** Dispatches that left the scenario's last-served class because
+     *  the rival's score beat the margin. */
+    std::uint64_t affinityMigrations = 0;
+
+    /** PricedScenarioCache lookups this run served from cache /
+     *  priced fresh (snapshot deltas around the run's pricing
+     *  phase; 0/0 for runs that price outside the cache). */
+    std::uint64_t pricedCacheHits = 0;
+    std::uint64_t pricedCacheMisses = 0;
+
     /** Per-tenant breakdown, in ServeConfig::tenants order. */
     std::vector<TenantStats> tenantStats;
 

@@ -107,9 +107,13 @@ ServeConfig::validate() const
             "serve: batching.marginalFraction must be >= 0");
     if (batching.costModel.empty())
         throw std::invalid_argument("serve: costModel name is empty");
-    if (routeObjective.empty())
+    if (routing.objective.empty())
         throw std::invalid_argument(
-            "serve: routeObjective name is empty");
+            "serve: routing.objective name is empty");
+    if (!(routing.affinityMargin >= 0.0) ||
+        !(routing.affinityMargin < 1.0))
+        throw std::invalid_argument(
+            "serve: routing.affinityMargin must be in [0, 1)");
     if (stats.streaming && stats.reservoirCapacity == 0)
         throw std::invalid_argument(
             "serve: stats.reservoirCapacity must be >= 1 when "
@@ -126,6 +130,23 @@ ServeConfig::validate() const
     if (!(control.sloBurnHigh > 0.0))
         throw std::invalid_argument(
             "serve: control.sloBurnHigh must be > 0");
+    if (control.scalingPolicy == "scheduled") {
+        if (control.schedule.empty())
+            throw std::invalid_argument(
+                "serve: the \"scheduled\" scaling policy needs a "
+                "non-empty control.schedule timetable");
+        for (std::size_t i = 0; i < control.schedule.size(); ++i) {
+            if (control.schedule[i].replicas == 0)
+                throw std::invalid_argument(
+                    "serve: control.schedule replica targets must be "
+                    ">= 1 (scale-to-zero would strand the queue)");
+            if (i > 0 && control.schedule[i].atCycle <=
+                             control.schedule[i - 1].atCycle)
+                throw std::invalid_argument(
+                    "serve: control.schedule entries must be sorted "
+                    "by strictly increasing atCycle");
+        }
+    }
     if (!(control.powerCapWatts >= 0.0))
         throw std::invalid_argument(
             "serve: control.powerCapWatts must be >= 0");

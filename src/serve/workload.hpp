@@ -185,6 +185,49 @@ struct BatchingSpec
     bool deadlineAware = true;
 };
 
+/**
+ * Routing knobs, grouped: which objective scores candidate instance
+ * classes, whether scoring looks past currently-free classes to each
+ * class's busy-until horizon, and how sticky a scenario stays to the
+ * class that last served it. Defaults — greedy "cycles" routing over
+ * free classes only — reproduce the historic behavior byte-exactly.
+ */
+struct RoutingSpec
+{
+    /**
+     * Registry key of the routing objective that scores candidate
+     * placements: "cycles" (the default — legacy cheapest-service-
+     * time routing, byte-identical schedules), "energy" (fewest
+     * joules per request), or "edp" (lowest energy-delay product).
+     * Consults the joules(B) energy twin the cost model prices next
+     * to cycles(B); under "cycles" that twin is never read.
+     */
+    std::string objective = "cycles";
+
+    /**
+     * Queue-aware lookahead: score *every* instance class on
+     * (wait-until-free + service) using its busy-until horizon, not
+     * just the currently-free ones, so a batch can hold for a cheap
+     * class about to free instead of burning an expensive idle one.
+     * Off by default — greedy free-class routing, byte-identical
+     * schedules.
+     */
+    bool lookahead = false;
+
+    /**
+     * Scenario→class affinity threshold: a batch only migrates off
+     * the class that last served its scenario when the winning score
+     * improves on the incumbent's by more than this relative margin
+     * (0.05 = 5%). Preserves PricedScenarioCache/weight locality and
+     * stops scenarios ping-ponging across near-tied classes. 0 (the
+     * default) disables retention entirely.
+     */
+    double affinityMargin = 0.0;
+
+    /** Any non-default routing path active? */
+    bool enabled() const { return lookahead || affinityMargin > 0.0; }
+};
+
 /** Stats-collection knobs, grouped: streaming aggregation and its
  *  reservoir/flush parameters. Defaults keep the materialized path
  *  (and the checked-in goldens) byte-identical. */
@@ -264,6 +307,27 @@ struct ControlPlaneSpec
     /** "slo-burn": scale up when the window's deadline-miss fraction
      *  (missed / completed) exceeds this. */
     double sloBurnHigh = 0.1;
+
+    /** One step of the "scheduled" policy's timetable: from
+     *  @p atCycle on, the class should run @p replicas replicas
+     *  (clamped into its min/max bounds by the scheduler). */
+    struct ScheduleEntry
+    {
+        Cycle atCycle = 0;
+        std::uint32_t replicas = 0;
+    };
+
+    /**
+     * Fixed cycle→replica-count timetable of the "scheduled" policy:
+     * at each control tick the class targets the replicas of the
+     * last entry at or before now (the initial replica count before
+     * the first entry). Entries must be sorted by atCycle, strictly
+     * increasing, and non-empty when scalingPolicy is "scheduled";
+     * other policies ignore the table. The timetable is per class in
+     * *target* terms — every class follows the same shape, clamped
+     * into its own min/max bounds.
+     */
+    std::vector<ScheduleEntry> schedule;
 
     /**
      * Cluster-wide power cap in watts over the modeled per-batch
@@ -360,16 +424,10 @@ struct ServeConfig
      *  flat-knob values, byte-identical). */
     BatchingSpec batching;
 
-    /**
-     * Registry key of the routing objective that picks, among free
-     * instance classes, where a ready batch dispatches: "cycles"
-     * (the default — legacy cheapest-service-time routing,
-     * byte-identical schedules), "energy" (fewest joules per
-     * request), or "edp" (lowest energy-delay product). Consults the
-     * joules(B) energy twin the cost model prices next to cycles(B);
-     * under "cycles" that twin is never read.
-     */
-    std::string routeObjective = "cycles";
+    /** Routing: objective, queue-aware lookahead, and scenario→class
+     *  affinity (RoutingSpec defaults are the legacy greedy
+     *  free-class "cycles" routing, byte-identical). */
+    RoutingSpec routing;
 
     /** Stats collection: streaming aggregation and its reservoir /
      *  flush knobs. Defaults materialize per-request records. */

@@ -308,9 +308,17 @@ toJson(const serve::ServeConfig &config)
     if (config.batching.costModel != "marginal")
         out += ",\"cost_model\":\"" + jsonEscape(config.batching.costModel) +
                "\"";
-    if (config.routeObjective != "cycles")
+    // Routing fields emit only off their defaults (greedy "cycles"
+    // free-class routing) so legacy configs — and every checked-in
+    // golden — stay byte-identical.
+    if (config.routing.objective != "cycles")
         out += ",\"route_objective\":\"" +
-               jsonEscape(config.routeObjective) + "\"";
+               jsonEscape(config.routing.objective) + "\"";
+    if (config.routing.lookahead)
+        out += ",\"routing_lookahead\":true";
+    if (config.routing.affinityMargin > 0.0)
+        out += ",\"affinity_margin\":" +
+               number(config.routing.affinityMargin);
     // Off-default means *false* since the default-on flip; legacy
     // opt-out configs are the ones that need to say so.
     if (!config.batching.deadlineAware)
@@ -402,6 +410,22 @@ toJson(const serve::ServeConfig &config)
             out += ",\"queue_depth_low\":" +
                    number(control.queueDepthLow);
             out += ",\"slo_burn_high\":" + number(control.sloBurnHigh);
+            if (!control.schedule.empty()) {
+                out += ",\"schedule\":[";
+                for (std::size_t i = 0; i < control.schedule.size();
+                     ++i) {
+                    if (i)
+                        out += ",";
+                    out += "{\"at_cycle\":" +
+                           std::to_string(
+                               control.schedule[i].atCycle) +
+                           ",\"replicas\":" +
+                           std::to_string(
+                               control.schedule[i].replicas) +
+                           "}";
+                }
+                out += "]";
+            }
             if (control.minInstances != 0)
                 out += ",\"min_instances\":" +
                        std::to_string(control.minInstances);
@@ -430,7 +454,7 @@ toJson(const serve::ServeResult &result, bool per_request)
     // Energy fields emit only off the default routing objective:
     // under "cycles" no dispatch ever consulted them, and the
     // checked-in goldens must stay byte-identical.
-    const bool emit_energy = result.config.routeObjective != "cycles";
+    const bool emit_energy = result.config.routing.objective != "cycles";
     std::string out = "{";
     out += "\"config\":" + toJson(result.config) + ",";
 
@@ -471,6 +495,21 @@ toJson(const serve::ServeResult &result, bool per_request)
          stats.deadlineCapsAvoided != 0))
         out += ",\"deadline_caps_avoided\":" +
                std::to_string(stats.deadlineCapsAvoided);
+    // Routing stats emit only when the routing spec is engaged
+    // (lookahead or affinity), so default-routing results — every
+    // golden — stay byte-identical.
+    if (result.config.routing.enabled()) {
+        out += ",\"lookahead_holds\":" +
+               std::to_string(stats.lookaheadHolds);
+        out += ",\"affinity_hits\":" +
+               std::to_string(stats.affinityHits);
+        out += ",\"affinity_migrations\":" +
+               std::to_string(stats.affinityMigrations);
+        out += ",\"priced_cache_hits\":" +
+               std::to_string(stats.pricedCacheHits);
+        out += ",\"priced_cache_misses\":" +
+               std::to_string(stats.pricedCacheMisses);
+    }
     // Control-plane stats emit only when the control plane is engaged
     // (matching the config's "control" block), and then only the
     // engaged halves' counters.

@@ -108,7 +108,8 @@ TEST(ScalingRegistry, BuiltinsResolveAndUnknownThrows)
 {
     const api::Registry &registry = api::Registry::global();
     const ServeConfig config = makeConfig(2, 1);
-    for (const char *name : {"static", "queue-depth", "slo-burn"}) {
+    for (const char *name :
+         {"static", "queue-depth", "slo-burn", "scheduled"}) {
         EXPECT_TRUE(registry.hasScalingPolicy(name));
         EXPECT_EQ(registry.makeScalingPolicy(name, config)->name(),
                   name);

@@ -196,9 +196,9 @@ TEST(ObjectiveRegistry, BuiltinsRegisteredAndConstructible)
 TEST(ObjectiveRegistry, UnknownObjectiveFailsAtRun)
 {
     ServeConfig config = hygcnConfig();
-    config.routeObjective = "karma";
+    config.routing.objective = "karma";
     EXPECT_THROW(Scheduler(config).run(), std::out_of_range);
-    config.routeObjective = "";
+    config.routing.objective = "";
     EXPECT_THROW(config.validate(), std::invalid_argument);
 }
 
@@ -361,28 +361,28 @@ TEST(RouteObjectives, EnergyAndEdpPickADifferentClassThanCycles)
     // about.
     ServeConfig config = stubClusterConfig();
 
-    config.routeObjective = "cycles";
+    config.routing.objective = "cycles";
     const ServeResult cycles = runServe(config);
     EXPECT_EQ(soleServingClass(cycles), 0);
 
-    config.routeObjective = "energy";
+    config.routing.objective = "energy";
     const ServeResult energy = runServe(config);
     EXPECT_EQ(soleServingClass(energy), 1);
 
-    config.routeObjective = "edp";
+    config.routing.objective = "edp";
     const ServeResult edp = runServe(config);
     EXPECT_EQ(soleServingClass(edp), 1);
 
     // Deterministic: the divergence reproduces run over run.
     ServeConfig replay = stubClusterConfig();
-    replay.routeObjective = "energy";
+    replay.routing.objective = "energy";
     EXPECT_EQ(toJson(energy), toJson(runServe(replay)));
 }
 
 TEST(RouteObjectives, JoulesAccountingFollowsTheRouting)
 {
     ServeConfig config = stubClusterConfig();
-    config.routeObjective = "energy";
+    config.routing.objective = "energy";
     const ServeResult result = runServe(config);
 
     // Every batch carries the joules of its routed class's curve.
@@ -410,7 +410,7 @@ TEST(RouteObjectives, JoulesAccountingFollowsTheRouting)
 TEST(RouteObjectives, PerTenantJoulesSplitBatchEnergyEvenly)
 {
     ServeConfig config = stubClusterConfig();
-    config.routeObjective = "edp";
+    config.routing.objective = "edp";
     config.tenants = {TenantMix{"a", 2.0, {}, 0, 0.0},
                       TenantMix{"b", 1.0, {}, 0, 0.0}};
     const ServeResult result = runServe(config);
@@ -433,7 +433,7 @@ TEST(RouteObjectives, CyclesObjectiveKeepsLegacySchedulesByteIdentical)
     for (ServeScenario &s : config.scenarios)
         s.spec.datasetScale = kScale;
     const std::string implicit = toJson(runServe(config));
-    config.routeObjective = "cycles";
+    config.routing.objective = "cycles";
     EXPECT_EQ(toJson(runServe(config)), implicit);
 }
 
@@ -448,7 +448,7 @@ TEST(RouteObjectives, SubEpsilonScoreGapsFallThroughTheTieChain)
     // a — an ordering one libm rounding away from flipping.
     for (const char *objective : {"cycles", "energy", "edp"}) {
         ServeConfig config = tieClusterConfig();
-        config.routeObjective = objective;
+        config.routing.objective = objective;
         const ServeResult result = Scheduler(config).run();
         ASSERT_GE(result.batches.size(), 4u) << objective;
         for (std::size_t i = 0; i < result.batches.size(); ++i)
@@ -468,7 +468,7 @@ TEST(RouteObjectives, EnergyFieldsEmitOnlyOffTheDefaultObjective)
     EXPECT_EQ(cycles_json.find("\"total_joules\""), std::string::npos);
     EXPECT_EQ(cycles_json.find("\"joules\""), std::string::npos);
 
-    config.routeObjective = "edp";
+    config.routing.objective = "edp";
     const std::string edp_json = toJson(runServe(config));
     EXPECT_NE(edp_json.find("\"route_objective\":\"edp\""),
               std::string::npos);
@@ -488,7 +488,7 @@ TEST(ServeSession, RouteObjectiveFillsConfig)
                                           .datasetScale(kScale)
                                           .scenario("cora", "gcn")
                                           .routeObjective("energy");
-    EXPECT_EQ(session.config().routeObjective, "energy");
+    EXPECT_EQ(session.config().routing.objective, "energy");
     session.config().validate();
 }
 
@@ -501,18 +501,18 @@ TEST(ServeSweep, ObjectiveAndMaxBatchAxesExpandDeterministically)
     const std::vector<ServeConfig> configs = sweep.expand();
     ASSERT_EQ(configs.size(), 6u);
     // Objectives outermost of the two, maxBatch inner.
-    EXPECT_EQ(configs[0].routeObjective, "cycles");
+    EXPECT_EQ(configs[0].routing.objective, "cycles");
     EXPECT_EQ(configs[0].batching.maxBatch, 1u);
     EXPECT_EQ(configs[1].batching.maxBatch, 2u);
-    EXPECT_EQ(configs[2].routeObjective, "energy");
-    EXPECT_EQ(configs[5].routeObjective, "edp");
+    EXPECT_EQ(configs[2].routing.objective, "energy");
+    EXPECT_EQ(configs[5].routing.objective, "edp");
     EXPECT_EQ(configs[5].batching.maxBatch, 2u);
     for (const ServeConfig &config : configs)
         config.validate();
 
     // Unset axes fall back to the base's objective.
     api::ServeSweep plain{base};
-    EXPECT_EQ(plain.expand().at(0).routeObjective, "cycles");
+    EXPECT_EQ(plain.expand().at(0).routing.objective, "cycles");
 
     // Parallel equals sequential byte-for-byte across the new axes.
     auto build = [&base] {
